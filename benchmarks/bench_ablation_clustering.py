@@ -1,0 +1,24 @@
+"""Extension study: cluster-selection strategies (BIC sweep / x-means /
+agglomerative / random projection / single-pass streaming)."""
+
+from repro.analysis.ablation import cluster_method_study
+
+
+def test_cluster_methods(benchmark, scale, report_sink):
+    points, report = benchmark.pedantic(
+        cluster_method_study, args=("pvz",), kwargs={"scale": scale},
+        rounds=1, iterations=1,
+    )
+    report_sink("ablation_clustering", report)
+    assert len(points) == 5
+    # Every strategy yields a usable plan with a real reduction.
+    for point in points:
+        assert point.reduction > 3.0, point.label
+        assert point.errors["cycles"] < 0.10, point.label
+    # The offline BIC sweep needs the fewest frames — the price the
+    # single-pass streaming variant pays for bounded memory.
+    by_label = {p.label: p for p in points}
+    assert (
+        by_label["bic-search (paper)"].selected_frames
+        <= by_label["streaming (single pass)"].selected_frames
+    )

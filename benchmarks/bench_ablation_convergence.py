@@ -1,0 +1,19 @@
+"""Extension study: reduction factor grows with sequence length."""
+
+from repro.analysis.ablation import scale_convergence_study
+
+
+def test_scale_convergence(benchmark, scale, report_sink):
+    # This study sweeps its own scales; the suite-wide scale caps the top.
+    scales = tuple(s for s in (0.05, 0.1, 0.2, 0.4) if s <= max(scale, 0.11))
+    points, report = benchmark.pedantic(
+        scale_convergence_study, args=("jjo",), kwargs={"scales": scales},
+        rounds=1, iterations=1,
+    )
+    report_sink("ablation_convergence", report)
+    # Representatives grow far slower than the sequence: the reduction
+    # factor at the longest setting beats the shortest.
+    assert points[-1].reduction > points[0].reduction
+    # Accuracy stays bounded throughout.
+    for point in points:
+        assert point.errors["cycles"] < 0.08, point.label

@@ -1,0 +1,14 @@
+"""Ablation: sweep of the BIC-spread threshold T (paper: 0.85)."""
+
+from repro.analysis.ablation import threshold_sweep
+
+
+def test_threshold_sweep(benchmark, scale, report_sink):
+    points, report = benchmark.pedantic(
+        threshold_sweep, args=("jjo",), kwargs={"scale": scale},
+        rounds=1, iterations=1,
+    )
+    report_sink("ablation_threshold", report)
+    frames = [p.selected_frames for p in points]
+    # Section III-F trade-off: larger T selects at least as many clusters.
+    assert frames == sorted(frames)

@@ -1,0 +1,15 @@
+"""Extension study: cache warm-up (ASSI) before each representative."""
+
+from repro.analysis.ablation import warmup_study
+
+
+def test_warmup_study(benchmark, scale, report_sink):
+    points, report = benchmark.pedantic(
+        warmup_study, args=("hwh",), kwargs={"scale": scale},
+        rounds=1, iterations=1,
+    )
+    report_sink("ablation_warmup", report)
+    # Warm-up multiplies the simulated-frame cost proportionally...
+    assert points[-1].selected_frames > points[0].selected_frames
+    # ...and never makes the memory-metric estimates dramatically worse.
+    assert points[-1].errors["dram_accesses"] < points[0].errors["dram_accesses"] + 0.02

@@ -1,0 +1,15 @@
+"""Ablation: the power-derived feature weights vs simpler schemes."""
+
+from repro.analysis.ablation import weight_ablation
+
+
+def test_weight_ablation(benchmark, scale, report_sink):
+    points, report = benchmark.pedantic(
+        weight_ablation, args=("bbr1",), kwargs={"scale": scale},
+        rounds=1, iterations=1,
+    )
+    report_sink("ablation_weights", report)
+    assert len(points) == 4
+    # Every weighting still produces a usable sampling plan.
+    for point in points:
+        assert point.reduction > 1.0

@@ -1,0 +1,62 @@
+"""Micro-benchmarks of the core components (proper multi-round timings).
+
+Unlike the table/figure benches (one heavy round each), these measure the
+steady-state throughput of the pieces the methodology is built from: the
+cycle-accurate frame simulation, the functional profiling pass, k-means,
+the BIC search and the similarity matrix.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cluster_search import search_clustering
+from repro.core.features import build_feature_matrix
+from repro.core.kmeans import kmeans
+from repro.core.similarity import similarity_matrix
+from repro.gpu.cycle_sim import CycleAccurateSimulator
+from repro.gpu.functional_sim import FunctionalSimulator
+from repro.workloads.benchmarks import make_benchmark
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return make_benchmark("bbr1", scale=0.04)
+
+
+@pytest.fixture(scope="module")
+def features(trace):
+    profile = FunctionalSimulator().profile(trace)
+    matrix, _ = build_feature_matrix(profile)
+    return matrix
+
+
+def test_cycle_sim_frame_throughput(benchmark, trace):
+    simulator = CycleAccurateSimulator()
+    result = benchmark(simulator.simulate, trace)
+    assert result.totals.cycles > 0
+
+
+def test_functional_sim_throughput(benchmark, trace):
+    simulator = FunctionalSimulator()
+    profile = benchmark(simulator.profile, trace)
+    assert profile.frame_count == trace.frame_count
+
+
+def test_kmeans_throughput(benchmark, features):
+    result = benchmark(kmeans, features, 8, 0)
+    assert result.k == 8
+
+
+def test_bic_search_throughput(benchmark, features):
+    result = benchmark(search_clustering, features)
+    assert result.chosen_k >= 1
+
+
+def test_similarity_matrix_throughput(benchmark, features):
+    matrix = benchmark(similarity_matrix, features)
+    assert matrix.shape[0] == features.shape[0]
+
+
+def test_trace_generation_throughput(benchmark):
+    trace = benchmark(make_benchmark, "hcr", 0.05)
+    assert trace.frame_count > 0

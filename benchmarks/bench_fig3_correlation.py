@@ -1,0 +1,15 @@
+"""Figure 3: correlation of the characterisation parameters with cycles."""
+
+from repro.analysis.experiments import fig3_correlation
+
+
+def test_fig3(benchmark, scale, report_sink):
+    result = benchmark.pedantic(
+        fig3_correlation, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    report_sink("fig3", result.report)
+    average = result.data["average"]
+    # Paper shape: shader counts correlate strongly with cycles; PRIM has a
+    # more limited impact.
+    assert average["shaders"] > 0.9
+    assert average["prim"] < average["shaders"]

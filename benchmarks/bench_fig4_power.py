@@ -1,0 +1,16 @@
+"""Figure 4: per-phase power fractions (the MEGsim feature weights)."""
+
+from repro.analysis.experiments import PAPER_FIG4_AVG, fig4_power
+
+
+def test_fig4(benchmark, scale, report_sink):
+    result = benchmark.pedantic(
+        fig4_power, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    report_sink("fig4", result.report)
+    geometry, raster, tiling = result.data["average"]
+    # Paper shape: Raster dominates (74.5%), Tiling > Geometry on average.
+    assert raster > 0.6
+    assert abs(raster - PAPER_FIG4_AVG[1]) < 0.12
+    assert abs(geometry - PAPER_FIG4_AVG[0]) < 0.06
+    assert abs(tiling - PAPER_FIG4_AVG[2]) < 0.06

@@ -1,0 +1,23 @@
+"""Figure 5: the bbr similarity matrix (900 analysed frames)."""
+
+import numpy as np
+
+from repro.analysis.experiments import fig5_similarity
+from repro.benchmark_support import scaled_frames
+
+
+def test_fig5(benchmark, scale, report_sink):
+    frames = scaled_frames(900, scale)
+    result = benchmark.pedantic(
+        fig5_similarity,
+        kwargs={"alias": "bbr1", "frames": frames, "scale": scale},
+        rounds=1, iterations=1,
+    )
+    report_sink("fig5", result.report)
+    distances = result.data["distances"]
+    assert distances.shape == (frames, frames)
+    # Repetitive phase structure: adjacent frames are far more similar than
+    # the average frame pair (the dark band along the diagonal).
+    n = distances.shape[0]
+    adjacent = np.array([distances[i, i + 1] for i in range(n - 1)])
+    assert adjacent.mean() < distances[np.triu_indices(n, k=1)].mean() * 0.5

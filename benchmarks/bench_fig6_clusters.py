@@ -1,0 +1,22 @@
+"""Figure 6: k-means clusters along the bbr similarity-matrix diagonal."""
+
+import numpy as np
+
+from repro.analysis.experiments import fig6_clusters
+from repro.benchmark_support import scaled_frames
+
+
+def test_fig6(benchmark, scale, report_sink):
+    frames = scaled_frames(900, scale)
+    result = benchmark.pedantic(
+        fig6_clusters,
+        kwargs={"alias": "bbr1", "frames": frames, "scale": scale},
+        rounds=1, iterations=1,
+    )
+    report_sink("fig6", result.report)
+    labels = result.data["labels"]
+    assert result.data["k"] >= 2
+    # Clusters form contiguous bands along the diagonal: label changes are
+    # far rarer than frames (the paper's Figure 6 shows few colored bands).
+    changes = int(np.count_nonzero(np.diff(labels)))
+    assert changes < len(labels) / 4

@@ -1,0 +1,17 @@
+"""Figure 7: relative error of the four key metrics per benchmark."""
+
+from repro.analysis.experiments import fig7_accuracy
+from repro.gpu.stats import KEY_METRICS
+
+
+def test_fig7(benchmark, scale, report_sink):
+    result = benchmark.pedantic(
+        fig7_accuracy, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    report_sink("fig7", result.report)
+    averages = result.data["average"]
+    # Paper shape: ~1% average error on every metric.  Short sequences
+    # cluster less cleanly, so the gate loosens below full scale.
+    budget = 0.035 if scale >= 1.0 else 0.06
+    for metric in KEY_METRICS:
+        assert averages[metric] < budget, metric

@@ -1,0 +1,16 @@
+"""Headline claim: MEGsim cuts simulation time by orders of magnitude."""
+
+from repro.analysis.experiments import speedup
+from repro.workloads.benchmarks import benchmark_aliases
+
+
+def test_speedup(benchmark, scale, report_sink):
+    result = benchmark.pedantic(
+        speedup, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    report_sink("speedup", result.report)
+    # The wall-clock advantage must be large on every benchmark (the frame
+    # reduction minus the functional-pass overhead).
+    for alias in benchmark_aliases():
+        assert result.data[alias]["speedup"] > 3.0, alias
+    assert result.data["overall_speedup"] > 5.0

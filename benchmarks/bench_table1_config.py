@@ -1,0 +1,9 @@
+"""Table I: baseline GPU simulation parameters."""
+
+from repro.analysis.experiments import table1_config
+
+
+def test_table1(benchmark, report_sink):
+    result = benchmark(table1_config)
+    report_sink("table1", result.report)
+    assert result.data["config"].frequency_mhz == 600

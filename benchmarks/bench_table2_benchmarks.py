@@ -1,0 +1,23 @@
+"""Table II: the benchmark set's simulated characteristics.
+
+This bench also measures the cost of fully (cycle-accurately) evaluating
+the whole suite — the baseline MEGsim's speedup is measured against.
+"""
+
+from repro.analysis.experiments import table2_benchmarks
+from repro.workloads.benchmarks import benchmark_aliases
+
+
+def test_table2(benchmark, scale, report_sink):
+    result = benchmark.pedantic(
+        table2_benchmarks, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    report_sink("table2", result.report)
+    assert set(result.data) == set(benchmark_aliases())
+    # Table II shape: 3D games burn more cycles per frame than 2D games.
+    per_frame = {
+        alias: entry["cycles_millions"] / entry["frames"]
+        for alias, entry in result.data.items()
+    }
+    heaviest_2d = max(per_frame[a] for a in ("hcr", "jjo", "pvz"))
+    assert per_frame["asp"] > heaviest_2d

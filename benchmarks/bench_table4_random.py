@@ -1,0 +1,34 @@
+"""Table IV: random sub-sampling needs many times more frames than MEGsim.
+
+The trial counts shrink below full scale so the suite stays fast; the
+paper's 100 MEGsim / 1000 random trials are used at scale 1.0 (see
+EXPERIMENTS.md for the recorded full-scale run).
+"""
+
+from repro.analysis.experiments import table4_random
+from repro.workloads.benchmarks import benchmark_aliases
+
+
+def test_table4(benchmark, scale, report_sink):
+    if scale >= 1.0:
+        megsim_trials, random_trials = 100, 1000
+    else:
+        megsim_trials, random_trials = 10, 300
+    result = benchmark.pedantic(
+        table4_random,
+        kwargs={
+            "scale": scale,
+            "megsim_trials": megsim_trials,
+            "random_trials": random_trials,
+        },
+        rounds=1, iterations=1,
+    )
+    report_sink("table4", result.report)
+    # Paper shape: matching MEGsim's accuracy by random sub-sampling costs
+    # many times more frames.  The per-benchmark claim needs the full
+    # sequences (short segments inflate MEGsim's worst-seed error); the
+    # aggregate advantage must hold at any scale.
+    if scale >= 1.0:
+        for alias in benchmark_aliases():
+            assert result.data[alias]["reduction"] > 1.0, alias
+    assert result.data["average_reduction"] > 2.0

@@ -1,0 +1,44 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*`` file regenerates one table or figure of the paper.  The
+sequence-length scale is controlled with the ``MEGSIM_BENCH_SCALE``
+environment variable (default 0.2: every benchmark keeps its full phase
+structure at a fifth of the Table II frame counts, so the suite completes
+in minutes).  Set ``MEGSIM_BENCH_SCALE=1.0`` to regenerate the paper-scale
+numbers recorded in EXPERIMENTS.md.
+
+Reports are printed to stdout (run with ``-s`` to see them) and written to
+``benchmarks/reports/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+REPORT_DIR = Path(__file__).parent / "reports"
+
+
+def bench_scale() -> float:
+    """The sequence-length scale for this benchmark run."""
+    return float(os.environ.get("MEGSIM_BENCH_SCALE", "0.2"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Write an experiment report to stdout and benchmarks/reports/."""
+    REPORT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        print()
+        print(text)
+        (REPORT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return write

@@ -1,0 +1,57 @@
+"""Quickstart: sample a game sequence with MEGsim and check the accuracy.
+
+Runs the whole methodology end to end on a shortened Beach Buggy Racing
+sequence:
+
+1. generate the workload trace,
+2. let MEGsim pick representative frames (functional profile -> feature
+   matrix -> BIC-guided k-means),
+3. cycle-accurately simulate ONLY the representatives,
+4. extrapolate whole-sequence statistics and compare against the fully
+   simulated ground truth (which this script also runs, just to grade the
+   estimate — in real use that is exactly the cost you avoid).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CycleAccurateSimulator, MEGsim, make_benchmark
+
+SCALE = 0.25  # a quarter-length sequence keeps this demo under a minute
+
+
+def main() -> None:
+    print("Generating the bbr1 trace...")
+    trace = make_benchmark("bbr1", scale=SCALE)
+    print(f"  {trace.frame_count} frames, "
+          f"{len(trace.vertex_shaders)} vertex shaders, "
+          f"{len(trace.fragment_shaders)} fragment shaders")
+
+    print("\nRunning MEGsim (functional profile + clustering)...")
+    plan = MEGsim().plan(trace)
+    print(f"  selected {plan.selected_frame_count} representative frames "
+          f"out of {plan.total_frames} "
+          f"(reduction {plan.reduction_factor:.0f}x)")
+
+    simulator = CycleAccurateSimulator()
+    print("\nSimulating ONLY the representatives (what MEGsim costs)...")
+    reps = simulator.simulate(trace, frame_ids=list(plan.representative_frames))
+    estimate = plan.estimate(dict(zip(reps.frame_ids, reps.frame_stats)))
+    print(f"  done in {reps.elapsed_seconds:.2f}s")
+
+    print("\nSimulating the FULL sequence (only to grade the estimate)...")
+    full = simulator.simulate(trace)
+    print(f"  done in {full.elapsed_seconds:.2f}s "
+          f"-> wall-clock speedup {full.elapsed_seconds / reps.elapsed_seconds:.0f}x")
+
+    truth = full.totals
+    print("\nEstimated vs. measured whole-sequence statistics:")
+    for metric in ("cycles", "dram_accesses", "l2_accesses",
+                   "tile_cache_accesses"):
+        est = getattr(estimate, metric)
+        ref = getattr(truth, metric)
+        print(f"  {metric:22s} est {est:15.3e}  true {ref:15.3e}  "
+              f"rel.err {abs(est - ref) / ref * 100:5.2f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Comparing rendering architectures: TBR vs TBDR (HSR) vs IMR.
+
+Section II-A of the paper explains why mobile GPUs use Tile-Based
+Rendering: immediate-mode GPUs write occluded fragments' colors to main
+memory over and over (overdraw traffic), while TBR resolves each pixel
+exactly once; deferred TBR (PowerVR-style Hidden Surface Removal) goes
+further and never even *shades* occluded opaque fragments.
+
+Section IV-A claims MEGsim ports across architectures unchanged, because
+its characterisation parameters are architecture independent.  This
+example demonstrates both on one benchmark.
+
+Run:  python examples/rendering_modes.py [alias] [scale]
+"""
+
+import dataclasses
+import sys
+
+from repro.analysis.runner import evaluate_benchmark
+from repro.gpu.config import default_config
+
+
+def main() -> None:
+    alias = sys.argv[1] if len(sys.argv) > 1 else "bbr1"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.1
+
+    print(f"{'mode':>5s} | {'cycles':>10s} | {'DRAM lines':>10s} | "
+          f"{'frags shaded':>12s} | {'tile cache':>10s} | "
+          f"{'MEGsim k':>8s} | cycles err")
+    for mode in ("tbr", "tbdr", "imr"):
+        config = dataclasses.replace(default_config(), rendering_mode=mode)
+        evaluation = evaluate_benchmark(alias, scale=scale, config=config)
+        totals = evaluation.totals
+        errors = evaluation.relative_errors()
+        print(f"{mode:>5s} | {totals.cycles:10.3e} | "
+              f"{totals.dram_accesses:10.3e} | "
+              f"{totals.fragments_shaded:12.3e} | "
+              f"{totals.tile_cache_accesses:10.3e} | "
+              f"{evaluation.plan.selected_frame_count:8d} | "
+              f"{errors['cycles'] * 100:5.2f}%")
+
+    print(
+        "\nReading: TBDR shades the fewest fragments (HSR kills opaque\n"
+        "overdraw) and finishes fastest.  IMR has zero tile-cache activity\n"
+        "(no Tiling Engine) but pays per-fragment depth/color traffic to\n"
+        "main memory; whether its total DRAM traffic exceeds TBR's depends\n"
+        "on the overdraw-vs-geometry balance (TBR spends traffic on the\n"
+        "varyings buffer and polygon lists instead).  MEGsim's accuracy\n"
+        "holds on every architecture — the features are architecture\n"
+        "independent, so one methodology serves all three."
+    )
+
+
+if __name__ == "__main__":
+    main()

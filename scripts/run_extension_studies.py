@@ -1,0 +1,46 @@
+"""Full-scale extension studies (follow-up to run_full_experiments.py).
+
+Regenerates the clustering-strategy study (with the bounded x-means and
+the streaming sampler), the phase-recovery study and the sequence-length
+convergence study at paper scale, writing over the corresponding reports
+in the output directory.
+
+Run:  python scripts/run_extension_studies.py [outdir]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.ablation import (
+    cluster_method_study,
+    rendering_mode_study,
+    scale_convergence_study,
+)
+from repro.analysis.phase_recovery import phase_recovery_study
+
+
+def main() -> None:
+    outdir = Path(sys.argv[1] if len(sys.argv) > 1 else "experiments_full")
+    outdir.mkdir(exist_ok=True)
+    steps = [
+        ("ablation_clustering", lambda: cluster_method_study("pvz", scale=1.0)[1]),
+        ("ablation_rendering_modes",
+         lambda: rendering_mode_study("bbr1", scale=1.0)[1]),
+        ("phase_recovery", lambda: phase_recovery_study(scale=1.0)[1]),
+        ("ablation_convergence",
+         lambda: scale_convergence_study("jjo", scales=(0.1, 0.25, 0.5, 1.0))[1]),
+    ]
+    for name, runner in steps:
+        started = time.perf_counter()
+        report = runner()
+        (outdir / f"{name}.txt").write_text(report + "\n")
+        print(f"[done] {name} in {time.perf_counter() - started:.1f}s",
+              flush=True)
+    print("extension studies complete")
+
+
+if __name__ == "__main__":
+    main()

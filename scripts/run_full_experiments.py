@@ -1,0 +1,93 @@
+"""Run the complete paper-scale experiment campaign (scale = 1.0).
+
+Regenerates every table and figure at the paper's full frame counts and
+writes the reports to ``experiments_full/``.  One process so all
+experiments share the cached per-benchmark evaluations.
+
+Run:  python scripts/run_full_experiments.py [outdir]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.experiments import (
+    fig3_correlation,
+    fig4_power,
+    fig5_similarity,
+    fig6_clusters,
+    fig7_accuracy,
+    speedup,
+    table1_config,
+    table2_benchmarks,
+    table3_reduction,
+    table4_random,
+)
+from repro.analysis.ablation import (
+    cluster_method_study,
+    rendering_mode_study,
+    scale_convergence_study,
+    threshold_sweep,
+    warmup_study,
+    weight_ablation,
+)
+from repro.analysis.phase_recovery import phase_recovery_study
+
+
+def _phase_recovery() -> tuple:
+    return phase_recovery_study(scale=1.0)
+
+
+def main() -> None:
+    outdir = Path(sys.argv[1] if len(sys.argv) > 1 else "experiments_full")
+    outdir.mkdir(exist_ok=True)
+    summary: dict[str, float] = {}
+
+    steps = [
+        ("table1", lambda: table1_config()),
+        ("table2", lambda: table2_benchmarks(scale=1.0)),
+        ("fig3", lambda: fig3_correlation(scale=1.0)),
+        ("fig4", lambda: fig4_power(scale=1.0)),
+        ("fig5", lambda: fig5_similarity(alias="bbr1", frames=900, scale=1.0)),
+        ("fig6", lambda: fig6_clusters(alias="bbr1", frames=900, scale=1.0)),
+        ("table3", lambda: table3_reduction(scale=1.0)),
+        ("fig7", lambda: fig7_accuracy(scale=1.0)),
+        ("speedup", lambda: speedup(scale=1.0)),
+        ("table4", lambda: table4_random(
+            scale=1.0, megsim_trials=20, random_trials=1000, max_k=48)),
+    ]
+    for name, runner in steps:
+        started = time.perf_counter()
+        result = runner()
+        elapsed = time.perf_counter() - started
+        (outdir / f"{name}.txt").write_text(result.report + "\n")
+        summary[name] = elapsed
+        print(f"[done] {name} in {elapsed:.1f}s", flush=True)
+
+    for name, runner in [
+        ("ablation_weights", lambda: weight_ablation("bbr1", scale=1.0)),
+        ("ablation_threshold", lambda: threshold_sweep("jjo", scale=1.0)),
+        ("ablation_clustering", lambda: cluster_method_study("pvz", scale=1.0)),
+        ("ablation_warmup", lambda: warmup_study("hwh", scale=1.0)),
+        ("ablation_rendering_modes",
+         lambda: rendering_mode_study("bbr1", scale=1.0)),
+        ("phase_recovery", lambda: _phase_recovery()),
+        ("ablation_convergence",
+         lambda: scale_convergence_study("jjo", scales=(0.1, 0.25, 0.5, 1.0))),
+    ]:
+        started = time.perf_counter()
+        _, report = runner()
+        elapsed = time.perf_counter() - started
+        (outdir / f"{name}.txt").write_text(report + "\n")
+        summary[name] = elapsed
+        print(f"[done] {name} in {elapsed:.1f}s", flush=True)
+
+    (outdir / "timings.json").write_text(json.dumps(summary, indent=2))
+    print("all experiments complete")
+
+
+if __name__ == "__main__":
+    main()

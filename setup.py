@@ -1,0 +1,5 @@
+"""Setuptools shim for legacy tooling (configuration lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

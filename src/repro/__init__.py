@@ -1,0 +1,92 @@
+"""MEGsim reproduction: efficient simulation of graphics workloads in GPUs.
+
+A full Python reproduction of *MEGsim: A Novel Methodology for Efficient
+Simulation of Graphics Workloads in GPUs* (ISPASS 2022): the sampling
+methodology itself (``repro.core``), the TBR mobile-GPU simulation
+substrate standing in for TEAPOT (``repro.gpu``), the synthetic Table II
+benchmark suite (``repro.workloads``) and the experiment harness
+regenerating every table and figure (``repro.analysis``).
+
+Quickstart::
+
+    from repro import MEGsim, CycleAccurateSimulator, make_benchmark
+
+    trace = make_benchmark("bbr1", scale=0.2)
+    plan = MEGsim().plan(trace)                      # pick representatives
+    sim = CycleAccurateSimulator()
+    reps = sim.simulate(trace, frame_ids=list(plan.representative_frames))
+    estimate = plan.estimate(
+        dict(zip(reps.frame_ids, reps.frame_stats)))  # full-sequence stats
+"""
+
+from repro.version import __version__
+from repro.errors import (
+    AnalysisError,
+    ClusteringError,
+    ConfigError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+from repro.core import (
+    MEGsim,
+    MEGsimOptions,
+    SamplingPlan,
+    build_feature_matrix,
+    FeatureOptions,
+    similarity_matrix,
+    kmeans,
+    bic_score,
+    search_clustering,
+    select_representatives,
+    extrapolate_statistics,
+    multiple_correlation,
+    pearson_correlation,
+    random_sampling_plan,
+)
+from repro.gpu import (
+    CycleAccurateSimulator,
+    FunctionalSimulator,
+    FrameStats,
+    GPUConfig,
+    default_config,
+)
+from repro.scene import WorkloadTrace
+from repro.workloads import benchmark_aliases, benchmark_spec, make_benchmark
+
+__all__ = [
+    "__version__",
+    # Errors.
+    "ReproError",
+    "ConfigError",
+    "TraceError",
+    "SimulationError",
+    "ClusteringError",
+    "AnalysisError",
+    # Methodology.
+    "MEGsim",
+    "MEGsimOptions",
+    "SamplingPlan",
+    "build_feature_matrix",
+    "FeatureOptions",
+    "similarity_matrix",
+    "kmeans",
+    "bic_score",
+    "search_clustering",
+    "select_representatives",
+    "extrapolate_statistics",
+    "multiple_correlation",
+    "pearson_correlation",
+    "random_sampling_plan",
+    # Simulators.
+    "CycleAccurateSimulator",
+    "FunctionalSimulator",
+    "FrameStats",
+    "GPUConfig",
+    "default_config",
+    # Workloads.
+    "WorkloadTrace",
+    "benchmark_aliases",
+    "benchmark_spec",
+    "make_benchmark",
+]

@@ -1,0 +1,91 @@
+"""Binary image output for the similarity-matrix figures.
+
+The paper's Figures 5 and 6 are images: the frame-similarity matrix
+(darker = more similar) and the k-means clusters painted along its
+diagonal.  This module writes them as portable graymap/pixmap files
+(PGM ``P5`` / PPM ``P6``) using nothing but the standard library — every
+image viewer and converter understands them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+# A qualitative palette for cluster bands (RGB), cycled when k exceeds it.
+_PALETTE = (
+    (230, 25, 75), (60, 180, 75), (255, 225, 25), (0, 130, 200),
+    (245, 130, 48), (145, 30, 180), (70, 240, 240), (240, 50, 230),
+    (210, 245, 60), (250, 190, 212), (0, 128, 128), (220, 190, 255),
+    (170, 110, 40), (255, 250, 200), (128, 0, 0), (170, 255, 195),
+)
+
+
+def _grayscale_similarity(distances: np.ndarray) -> np.ndarray:
+    """Map a distance matrix to 8-bit grayscale, dark = similar."""
+    distances = np.asarray(distances, dtype=np.float64)
+    if distances.ndim != 2 or distances.shape[0] != distances.shape[1]:
+        raise AnalysisError(f"expected a square matrix, got {distances.shape}")
+    full = np.maximum(distances, distances.T)
+    peak = full.max()
+    if peak > 0:
+        full = full / peak
+    return np.round(full * 255.0).astype(np.uint8)
+
+
+def write_pgm(gray: np.ndarray, path: str | Path) -> None:
+    """Write an 8-bit grayscale array as a binary PGM (``P5``) file."""
+    gray = np.asarray(gray, dtype=np.uint8)
+    if gray.ndim != 2:
+        raise AnalysisError(f"expected a 2-D array, got shape {gray.shape}")
+    height, width = gray.shape
+    header = f"P5\n{width} {height}\n255\n".encode("ascii")
+    Path(path).write_bytes(header + gray.tobytes())
+
+
+def write_ppm(rgb: np.ndarray, path: str | Path) -> None:
+    """Write an 8-bit H x W x 3 array as a binary PPM (``P6``) file."""
+    rgb = np.asarray(rgb, dtype=np.uint8)
+    if rgb.ndim != 3 or rgb.shape[2] != 3:
+        raise AnalysisError(f"expected an HxWx3 array, got shape {rgb.shape}")
+    height, width, _ = rgb.shape
+    header = f"P6\n{width} {height}\n255\n".encode("ascii")
+    Path(path).write_bytes(header + rgb.tobytes())
+
+
+def similarity_image(distances: np.ndarray, path: str | Path) -> None:
+    """Write a Figure 5 style similarity-matrix image (dark = similar)."""
+    write_pgm(_grayscale_similarity(distances), path)
+
+
+def cluster_image(
+    distances: np.ndarray,
+    labels: np.ndarray,
+    path: str | Path,
+    band_fraction: float = 0.04,
+) -> None:
+    """Write a Figure 6 style image: cluster bands along the diagonal.
+
+    The grayscale similarity matrix is overlaid with one colored square
+    per frame on the diagonal (width ``band_fraction`` of the matrix),
+    colored by cluster.
+    """
+    labels = np.asarray(labels)
+    gray = _grayscale_similarity(distances)
+    n = gray.shape[0]
+    if labels.shape[0] != n:
+        raise AnalysisError(
+            f"{labels.shape[0]} labels for a {n}-frame similarity matrix"
+        )
+    if not 0.0 < band_fraction <= 1.0:
+        raise AnalysisError(f"band_fraction must be in (0, 1], got {band_fraction}")
+    rgb = np.repeat(gray[:, :, np.newaxis], 3, axis=2)
+    half_band = max(1, int(round(n * band_fraction / 2)))
+    for i in range(n):
+        color = _PALETTE[int(labels[i]) % len(_PALETTE)]
+        row0, row1 = max(0, i - half_band), min(n, i + half_band + 1)
+        rgb[row0:row1, max(0, i - half_band): min(n, i + half_band + 1)] = color
+    write_ppm(rgb, path)

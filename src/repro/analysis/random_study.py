@@ -1,0 +1,160 @@
+"""Random sub-sampling comparison study (Section V-C, Table IV).
+
+Two ingredients:
+
+* :func:`megsim_error_distribution` — repeat MEGsim with different k-means
+  initialisation seeds and collect the relative error of the estimated
+  metric; the paper reports the maximum error at 95% confidence over 100
+  repetitions.
+* :func:`random_frames_for_error` — grow the number of random
+  representatives k until random sub-sampling's 95%-confidence error over
+  many trials matches MEGsim's.  The paper grows k one by one; we use a
+  geometric-then-bisection search for the same smallest matching k, which
+  is much cheaper and equivalent for a monotonically improving error.
+
+Both operate on the *per-frame ground-truth metric vector* (every frame was
+already simulated once for the accuracy study), so re-sampling costs no
+additional simulation — only array arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.analysis.metrics import percentile_abs_error
+from repro.core.cluster_search import search_clustering
+from repro.core.representatives import select_representatives
+
+
+@dataclass(frozen=True)
+class RandomStudyResult:
+    """Outcome of the Table IV comparison for one benchmark."""
+
+    alias: str
+    megsim_error_95: float
+    megsim_frames: int
+    random_frames: int
+
+    @property
+    def reduction_factor(self) -> float:
+        """How many times more frames random sub-sampling needs."""
+        return self.random_frames / self.megsim_frames
+
+
+def estimate_from_plan(values: np.ndarray, representatives: np.ndarray,
+                       weights: np.ndarray) -> float:
+    """Weighted-sum estimate of a metric total from representative frames."""
+    return float((values[representatives] * weights).sum())
+
+
+def megsim_error_distribution(
+    features: np.ndarray,
+    values: np.ndarray,
+    trials: int = 100,
+    threshold: float = 0.85,
+    max_k: int | None = None,
+    patience: int = 1,
+    restarts: int = 1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Relative errors of MEGsim over ``trials`` k-means seeds.
+
+    Args:
+        features: the N x D feature matrix MEGsim clusters.
+        values: per-frame ground truth of the target metric (e.g. cycles).
+        trials: number of repetitions (the paper uses 100).
+        threshold: BIC-spread threshold T.
+        max_k: optional cap on the cluster search.
+        patience: BIC-decrease patience of the search.
+        restarts: k-means restarts per k inside each trial (1 = the raw
+            per-seed variability the paper measures).
+
+    Returns:
+        ``(errors, selected_k)`` arrays of length ``trials``.
+    """
+    if features.shape[0] != values.shape[0]:
+        raise AnalysisError(
+            f"features cover {features.shape[0]} frames, values {values.shape[0]}"
+        )
+    truth = float(values.sum())
+    errors = np.empty(trials)
+    selected = np.empty(trials, dtype=np.int64)
+    for trial in range(trials):
+        search = search_clustering(
+            features, threshold=threshold, seed=trial, max_k=max_k,
+            patience=patience, restarts=restarts,
+        )
+        clusters = select_representatives(features, search.clustering)
+        reps = np.array([c.representative for c in clusters])
+        weights = np.array([c.weight for c in clusters], dtype=np.float64)
+        estimate = estimate_from_plan(values, reps, weights)
+        errors[trial] = abs(estimate - truth) / truth
+        selected[trial] = len(clusters)
+    return errors, selected
+
+
+def random_error_at_k(
+    values: np.ndarray,
+    k: int,
+    trials: int,
+    rng: np.random.Generator,
+    confidence: float = 95.0,
+) -> float:
+    """95%-confidence relative error of random sub-sampling with ``k`` reps.
+
+    The sequence is split into ``k`` contiguous fixed-size ranges; each
+    trial draws one uniform representative per range (exactly
+    :func:`repro.core.random_baseline.random_sampling_plan`, vectorised
+    over trials).
+    """
+    n = values.shape[0]
+    if not 1 <= k <= n:
+        raise AnalysisError(f"k must be in [1, {n}], got {k}")
+    truth = float(values.sum())
+    boundaries = np.linspace(0, n, k + 1).astype(int)
+    estimates = np.zeros(trials)
+    for index in range(k):
+        start, stop = int(boundaries[index]), int(boundaries[index + 1])
+        picks = rng.integers(start, stop, size=trials)
+        estimates += values[picks] * (stop - start)
+    errors = np.abs(estimates - truth) / truth
+    return percentile_abs_error(errors, confidence)
+
+
+def random_frames_for_error(
+    values: np.ndarray,
+    target_error: float,
+    trials: int = 1000,
+    seed: int = 0,
+    confidence: float = 95.0,
+) -> int:
+    """Smallest k with random-sampling error at ``confidence`` <= target.
+
+    Grows k geometrically until the target is met, then bisects.  Returns
+    N (simulate everything) if even ``k = N - 1`` misses the target.
+    """
+    if target_error <= 0:
+        raise AnalysisError(f"target_error must be > 0, got {target_error}")
+    n = values.shape[0]
+    rng = np.random.default_rng(seed)
+
+    def error_at(k: int) -> float:
+        return random_error_at_k(values, k, trials, rng, confidence)
+
+    # Geometric growth to bracket the answer.
+    k = 1
+    while k < n and error_at(k) > target_error:
+        k = min(int(k * 1.5) + 1, n)
+    if k >= n and error_at(n) > target_error:
+        return n
+    low = max(1, int(k / 1.5))
+    high = k
+    while low < high:
+        mid = (low + high) // 2
+        if error_at(mid) <= target_error:
+            high = mid
+        else:
+            low = mid + 1
+    return high

@@ -1,0 +1,85 @@
+"""Plain-text rendering of tables and bar charts for the reports."""
+
+from __future__ import annotations
+
+from repro.errors import AnalysisError
+
+
+def render_table(
+    headers: list[str], rows: list[list[str]], title: str = ""
+) -> str:
+    """Render an ASCII table with column alignment.
+
+    Args:
+        headers: column titles.
+        rows: cell strings; every row must match ``headers`` in length.
+        title: optional caption printed above the table.
+    """
+    for row in rows:
+        if len(row) != len(headers):
+            raise AnalysisError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def fmt(cells: list[str]) -> str:
+        return " | ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    separator = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(headers))
+    lines.append(separator)
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_bars(
+    labels: list[str],
+    values: list[float],
+    width: int = 50,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """Render a horizontal bar chart (one bar per label)."""
+    if len(labels) != len(values):
+        raise AnalysisError(
+            f"{len(labels)} labels vs {len(values)} values"
+        )
+    if any(v < 0 for v in values):
+        raise AnalysisError("bar values must be >= 0")
+    peak = max(values, default=0.0)
+    label_width = max((len(l) for l in labels), default=0)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * (round(value / peak * width) if peak > 0 else 0)
+        lines.append(f"{label.rjust(label_width)} |{bar} {value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def render_grouped_bars(
+    groups: list[str],
+    series: dict[str, list[float]],
+    width: int = 40,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """Render grouped bars: for each group label, one bar per series."""
+    for name, values in series.items():
+        if len(values) != len(groups):
+            raise AnalysisError(
+                f"series {name!r} has {len(values)} values for {len(groups)} groups"
+            )
+    peak = max((v for values in series.values() for v in values), default=0.0)
+    name_width = max((len(n) for n in series), default=0)
+    lines = [title] if title else []
+    for index, group in enumerate(groups):
+        lines.append(f"{group}:")
+        for name, values in series.items():
+            value = values[index]
+            bar = "#" * (round(value / peak * width) if peak > 0 else 0)
+            lines.append(f"  {name.rjust(name_width)} |{bar} {value:.3g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,8 @@
+"""Small helpers shared by the pytest-benchmark harness."""
+
+from __future__ import annotations
+
+
+def scaled_frames(frames: int, scale: float, minimum: int = 40) -> int:
+    """Scale a paper frame count to the current bench scale."""
+    return max(minimum, round(frames * scale))

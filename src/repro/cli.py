@@ -1,0 +1,200 @@
+"""Command-line interface: ``megsim`` / ``python -m repro``.
+
+Examples::
+
+    megsim list                       # available experiments & benchmarks
+    megsim run table3 --scale 0.25    # regenerate Table III, quick
+    megsim run fig7 --scale 1.0       # full-length Figure 7
+    megsim plan bbr1 --scale 0.2      # show a sampling plan
+    megsim all --scale 0.25           # every experiment, in paper order
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.experiments import EXPERIMENTS, run_experiment
+from repro.core.sampler import MEGsim
+from repro.workloads.benchmarks import benchmark_aliases, make_benchmark
+
+
+def _add_scale(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="sequence-length scale (1.0 = the paper's frame counts)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="megsim", description="MEGsim reproduction harness"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list experiments and benchmarks")
+
+    run = commands.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    _add_scale(run)
+
+    everything = commands.add_parser("all", help="run every experiment")
+    _add_scale(everything)
+
+    plan = commands.add_parser("plan", help="show a benchmark's sampling plan")
+    plan.add_argument("benchmark", choices=benchmark_aliases())
+    _add_scale(plan)
+
+    inspect = commands.add_parser(
+        "inspect", help="per-stage statistics of a benchmark"
+    )
+    inspect.add_argument("benchmark", choices=benchmark_aliases())
+    _add_scale(inspect)
+
+    figures = commands.add_parser(
+        "figures", help="write Figure 5/6 images (PGM/PPM)"
+    )
+    figures.add_argument("benchmark", choices=benchmark_aliases())
+    figures.add_argument("--frames", type=int, default=900,
+                         help="frames to analyse (paper: 900)")
+    figures.add_argument("--outdir", default=".",
+                         help="directory for fig5.pgm / fig6.ppm")
+    _add_scale(figures)
+
+    trace = commands.add_parser(
+        "trace", help="generate a benchmark trace and write it to a file"
+    )
+    trace.add_argument("benchmark", choices=benchmark_aliases())
+    trace.add_argument("--out", required=True,
+                       help="output path (.npz binary or .json)")
+    _add_scale(trace)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        print("experiments:", ", ".join(EXPERIMENTS))
+        print("benchmarks:", ", ".join(benchmark_aliases()))
+        return 0
+
+    if args.command == "run":
+        kwargs = {} if args.experiment == "table1" else {"scale": args.scale}
+        result = run_experiment(args.experiment, **kwargs)
+        print(result.report)
+        return 0
+
+    if args.command == "all":
+        for name in EXPERIMENTS:
+            kwargs = {} if name == "table1" else {"scale": args.scale}
+            result = run_experiment(name, **kwargs)
+            print(result.report)
+            print()
+        return 0
+
+    if args.command == "plan":
+        trace = make_benchmark(args.benchmark, scale=args.scale)
+        plan = MEGsim().plan(trace)
+        print(
+            f"{args.benchmark}: {plan.total_frames} frames -> "
+            f"{plan.selected_frame_count} representatives "
+            f"(reduction {plan.reduction_factor:.0f}x)"
+        )
+        for cluster in plan.clusters:
+            print(
+                f"  cluster {cluster.index:3d}: frame {cluster.representative:5d} "
+                f"represents {cluster.weight} frames"
+            )
+        return 0
+
+    if args.command == "inspect":
+        _inspect(args.benchmark, args.scale)
+        return 0
+
+    if args.command == "figures":
+        _figures(args.benchmark, args.frames, args.scale, args.outdir)
+        return 0
+
+    if args.command == "trace":
+        workload = make_benchmark(args.benchmark, scale=args.scale)
+        if args.out.endswith(".json"):
+            workload.save(args.out)
+        else:
+            from repro.scene.binary_io import save_trace_npz
+
+            save_trace_npz(workload, args.out)
+        print(f"wrote {workload.frame_count}-frame trace to {args.out}")
+        return 0
+
+    return 1  # unreachable: argparse enforces the command set
+
+
+def _inspect(alias: str, scale: float) -> None:
+    """Print a per-stage breakdown of one benchmark's simulation."""
+    from repro.analysis.runner import evaluate_benchmark
+
+    evaluation = evaluate_benchmark(alias, scale=scale)
+    totals = evaluation.totals
+    frames = evaluation.trace.frame_count
+    geometry, raster, tiling = totals.power_fractions()
+    print(f"{alias}: {frames} frames, {totals.cycles:.3e} cycles "
+          f"({totals.cycles / frames / 1e6:.2f}M/frame), IPC {totals.ipc:.2f}")
+    print(f"  work     : {totals.vertices_shaded:.3e} vertices, "
+          f"{totals.primitives_binned:.3e} primitives, "
+          f"{totals.fragments_shaded:.3e} fragments shaded "
+          f"({totals.fragments_generated:.3e} generated)")
+    print(f"  phases   : geometry {totals.geometry_cycles:.3e} | "
+          f"tiling {totals.tiling_cycles:.3e} | "
+          f"raster {totals.raster_cycles:.3e} cycles")
+    for name, cache in (
+        ("vertex$", totals.vertex_cache), ("texture$", totals.texture_cache),
+        ("tile$", totals.tile_cache), ("L2$", totals.l2_cache),
+    ):
+        print(f"  {name:9s}: {cache.accesses:.3e} accesses, "
+              f"hit rate {cache.hit_rate:.3f}")
+    print(f"  DRAM     : {totals.dram.total_accesses:.3e} lines "
+          f"({totals.dram.read_accesses:.2e} rd / "
+          f"{totals.dram.write_accesses:.2e} wr), "
+          f"row hit rate {totals.dram.row_hit_rate:.3f}")
+    print(f"  power    : geometry {geometry:.1%} | tiling {tiling:.1%} | "
+          f"raster {raster:.1%}")
+    print(f"  MEGsim   : {evaluation.plan.selected_frame_count} "
+          f"representatives (reduction {evaluation.reduction_factor:.0f}x), "
+          "errors "
+          + ", ".join(f"{m} {e:.2%}"
+                      for m, e in evaluation.relative_errors().items()))
+
+
+def _figures(alias: str, frames: int, scale: float, outdir: str) -> None:
+    """Write Figure 5/6 images for one benchmark."""
+    from pathlib import Path
+
+    from repro.analysis.images import cluster_image, similarity_image
+    from repro.core.cluster_search import search_clustering
+    from repro.core.features import build_feature_matrix
+    from repro.core.similarity import similarity_matrix
+    from repro.gpu.functional_sim import FunctionalSimulator
+
+    trace = make_benchmark(alias, scale=scale)
+    profile = FunctionalSimulator().profile(trace)
+    features, _ = build_feature_matrix(profile)
+    frames = min(frames, features.shape[0])
+    distances = similarity_matrix(features[:frames], upper_only=False)
+    search = search_clustering(features[:frames], restarts=3)
+
+    out = Path(outdir)
+    out.mkdir(parents=True, exist_ok=True)
+    fig5 = out / f"fig5_{alias}.pgm"
+    fig6 = out / f"fig6_{alias}.ppm"
+    similarity_image(distances, fig5)
+    cluster_image(distances, search.clustering.labels, fig6)
+    print(f"wrote {fig5} ({frames}x{frames}, dark = similar)")
+    print(f"wrote {fig6} (k={search.chosen_k} clusters along the diagonal)")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""MEGsim core: the paper's primary contribution.
+
+The methodology pipeline (Section III):
+
+1. :mod:`repro.core.features` — build the N x D matrix of per-frame
+   characterisation vectors (VSCV | FSCV | PRIM) from a functional profile,
+   with texture-weighted instruction scaling and power-fraction group
+   weighting.
+2. :mod:`repro.core.similarity` — Euclidean similarity matrix between
+   frames (Figure 5).
+3. :mod:`repro.core.kmeans` — k-means clustering, implemented from scratch.
+4. :mod:`repro.core.bic` — the Bayesian Information Criterion score of a
+   clustering (Pelleg/Moore x-means formulation, Equations 5-6).
+5. :mod:`repro.core.cluster_search` — increase k until BIC drops, then pick
+   the smallest k reaching the T = 85% BIC-spread threshold.
+6. :mod:`repro.core.representatives` — per-cluster representative frames
+   and population weights.
+7. :mod:`repro.core.extrapolation` — scale representative statistics to
+   whole-sequence estimates.
+
+:class:`repro.core.sampler.MEGsim` ties 1-6 together behind one call;
+:mod:`repro.core.correlation` implements the Section III-B correlation
+study and :mod:`repro.core.random_baseline` the Section V-C random
+sub-sampling comparison point.
+"""
+
+from repro.core.features import FeatureOptions, build_feature_matrix
+from repro.core.similarity import similarity_matrix
+from repro.core.kmeans import KMeansResult, kmeans
+from repro.core.xmeans import xmeans
+from repro.core.linkage import agglomerative_search
+from repro.core.projection import project_features
+from repro.core.rand_index import adjusted_rand_index
+from repro.core.streaming import StreamingSampler, streaming_plan
+from repro.core.bic import bic_score
+from repro.core.cluster_search import ClusterSearchResult, search_clustering
+from repro.core.representatives import Cluster, select_representatives
+from repro.core.extrapolation import extrapolate_statistics
+from repro.core.sampler import MEGsim, MEGsimOptions, SamplingPlan
+from repro.core.correlation import multiple_correlation, pearson_correlation
+from repro.core.random_baseline import random_sampling_plan
+
+__all__ = [
+    "FeatureOptions",
+    "build_feature_matrix",
+    "similarity_matrix",
+    "KMeansResult",
+    "kmeans",
+    "xmeans",
+    "agglomerative_search",
+    "project_features",
+    "adjusted_rand_index",
+    "StreamingSampler",
+    "streaming_plan",
+    "bic_score",
+    "ClusterSearchResult",
+    "search_clustering",
+    "Cluster",
+    "select_representatives",
+    "extrapolate_statistics",
+    "MEGsim",
+    "MEGsimOptions",
+    "SamplingPlan",
+    "multiple_correlation",
+    "pearson_correlation",
+    "random_sampling_plan",
+]

@@ -1,0 +1,79 @@
+"""Bayesian Information Criterion for a clustering (Section III-F).
+
+Implements Equations 5-6 of the paper, the Pelleg/Moore x-means
+formulation: a spherical-Gaussian log-likelihood of the data under the
+clustering, penalised by the number of model parameters::
+
+    BIC(phi) = l(D) - (p_phi / 2) * log R
+
+    l(D) = sum_n R_n log R_n  -  R log R
+           - (R M / 2) log(2 pi sigma^2)  -  (M / 2) (R - K)
+
+with R points, R_n points in cluster n, K clusters, M dimensions,
+p_phi = K (M + 1) free parameters, and sigma^2 the average variance of the
+Euclidean distance from each point to its cluster centroid.
+
+Higher is better; the penalty term makes BIC eventually decrease as K
+grows, which is what MEGsim's cluster search exploits as a stop signal.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ClusteringError
+from repro.core.kmeans import KMeansResult
+
+# Floor on the variance estimate so a clustering that reproduces every
+# point exactly (k == n, or duplicated data) keeps a finite score.
+_MIN_VARIANCE = 1e-12
+
+
+def clustering_variance(
+    points: np.ndarray, result: KMeansResult
+) -> float:
+    """Average variance of point-to-centroid Euclidean distances.
+
+    This is the maximum-likelihood spherical variance estimate
+    ``WCSS / (R - K)`` (and ``WCSS / R`` in the degenerate ``K == R``
+    case, where it is zero anyway).
+    """
+    r = points.shape[0]
+    k = result.k
+    denominator = max(r - k, 1)
+    return result.wcss / denominator
+
+
+def bic_score(points: np.ndarray, result: KMeansResult) -> float:
+    """Score a clustering of ``points``; higher is a better fit.
+
+    Args:
+        points: the N x D matrix the clustering was computed on.
+        result: the k-means outcome to score.
+
+    Raises:
+        ClusteringError: when shapes disagree.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ClusteringError(f"points must be 2-D, got shape {points.shape}")
+    r, m = points.shape
+    if result.labels.shape[0] != r:
+        raise ClusteringError(
+            f"clustering covers {result.labels.shape[0]} points, data has {r}"
+        )
+    k = result.k
+    sizes = result.cluster_sizes().astype(np.float64)
+    occupied = sizes[sizes > 0]
+
+    variance = max(clustering_variance(points, result), _MIN_VARIANCE)
+    log_likelihood = (
+        float((occupied * np.log(occupied)).sum())
+        - r * math.log(r)
+        - (r * m / 2.0) * math.log(2.0 * math.pi * variance)
+        - (m / 2.0) * (r - k)
+    )
+    parameters = k * (m + 1)
+    return log_likelihood - (parameters / 2.0) * math.log(r)

@@ -1,0 +1,125 @@
+"""BIC-driven choice of the number of clusters (Section III-F).
+
+MEGsim starts from a single cluster and increases k, scoring every
+clustering with the BIC.  The search stops as soon as a BIC score lower
+than the previous one is obtained.  The chosen clustering is then the one
+whose BIC reaches at least ``T`` of the spread between the smallest and the
+largest observed score (the paper's threshold T = 0.85): higher T means
+more clusters and more accuracy, lower T fewer clusters — the trade-off
+Section III-F discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ClusteringError
+from repro.core.bic import bic_score
+from repro.core.kmeans import KMeansResult, kmeans
+
+#: The paper's empirically chosen BIC-spread threshold.
+PAPER_THRESHOLD = 0.85
+
+
+@dataclass(frozen=True)
+class ClusterSearchResult:
+    """Outcome of the BIC cluster search.
+
+    Attributes:
+        clustering: the chosen k-means result.
+        chosen_k: its number of clusters.
+        explored_k: every k evaluated, in order.
+        bic_scores: the BIC score of each explored k (same order).
+        threshold: the T value used for the final selection.
+    """
+
+    clustering: KMeansResult
+    chosen_k: int
+    explored_k: tuple[int, ...]
+    bic_scores: tuple[float, ...]
+    threshold: float
+
+    @property
+    def bic_by_k(self) -> dict[int, float]:
+        """Mapping from explored k to its BIC score."""
+        return dict(zip(self.explored_k, self.bic_scores))
+
+
+def search_clustering(
+    points: np.ndarray,
+    threshold: float = PAPER_THRESHOLD,
+    seed: int = 0,
+    max_k: int | None = None,
+    patience: int = 1,
+    restarts: int = 1,
+) -> ClusterSearchResult:
+    """Find the MEGsim clustering of ``points``.
+
+    Args:
+        points: N x D feature matrix.
+        threshold: BIC-spread fraction T of the final selection.
+        seed: k-means initialisation seed.
+        max_k: optional hard cap on the explored k (defaults to N).
+        patience: number of consecutive BIC decreases tolerated before
+            stopping.  The paper stops at the first decrease
+            (``patience=1``); larger values make the search robust to a
+            noisy BIC bump at small k.
+        restarts: k-means runs per k (best WCSS kept).  A single unlucky
+            local optimum can dent the BIC curve and stop the search far
+            too early; best-of-restarts smooths the curve the way the
+            paper's reported cluster counts (23-47, never a handful)
+            imply theirs behaved.
+
+    Raises:
+        ClusteringError: on invalid arguments or empty data.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise ClusteringError(f"invalid points shape {points.shape}")
+    if not 0.0 <= threshold <= 1.0:
+        raise ClusteringError(f"threshold must be in [0, 1], got {threshold}")
+    if patience < 1:
+        raise ClusteringError(f"patience must be >= 1, got {patience}")
+    if restarts < 1:
+        raise ClusteringError(f"restarts must be >= 1, got {restarts}")
+    n = points.shape[0]
+    cap = n if max_k is None else min(max_k, n)
+    if cap < 1:
+        raise ClusteringError(f"max_k must be >= 1, got {max_k}")
+
+    clusterings: list[KMeansResult] = []
+    scores: list[float] = []
+    decreases = 0
+    for k in range(1, cap + 1):
+        result = min(
+            (
+                kmeans(points, k, seed=seed + attempt * 9973)
+                for attempt in range(restarts)
+            ),
+            key=lambda r: r.wcss,
+        )
+        score = bic_score(points, result)
+        clusterings.append(result)
+        scores.append(score)
+        if len(scores) >= 2 and score < scores[-2]:
+            decreases += 1
+            if decreases >= patience:
+                break
+        else:
+            decreases = 0
+
+    best = max(scores)
+    worst = min(scores)
+    cutoff = worst + threshold * (best - worst)
+    # Smallest k whose BIC reaches the cutoff (ties resolved toward fewer
+    # clusters, hence fewer frames to simulate).
+    chosen_index = next(i for i, s in enumerate(scores) if s >= cutoff)
+    return ClusterSearchResult(
+        clustering=clusterings[chosen_index],
+        chosen_k=clusterings[chosen_index].k,
+        explored_k=tuple(c.k for c in clusterings),
+        bic_scores=tuple(scores),
+        threshold=threshold,
+    )

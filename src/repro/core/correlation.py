@@ -1,0 +1,80 @@
+"""Correlation study of the input parameters (Section III-B, Figure 3).
+
+Two tools, exactly as the paper uses them:
+
+* :func:`pearson_correlation` — Equation 1, for the one-dimensional PRIM
+  vector against the per-frame cycle counts.
+* :func:`multiple_correlation` — Equations 2-3, the coefficient of
+  multiple correlation ``R`` for the multi-column shader count vectors:
+  how well a linear function of the predictor columns explains the target.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+def pearson_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson's correlation coefficient (Equation 1).
+
+    Returns 0.0 when either series is constant (zero variance), which is
+    the conventional "no linear relation measurable" reading.
+    """
+    x = np.asarray(x, dtype=np.float64).ravel()
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if x.shape != y.shape:
+        raise AnalysisError(f"length mismatch: {x.shape} vs {y.shape}")
+    if x.size < 2:
+        raise AnalysisError("need at least 2 observations")
+    sx = x.std()
+    sy = y.std()
+    if sx == 0.0 or sy == 0.0:
+        return 0.0
+    covariance = ((x - x.mean()) * (y - y.mean())).mean()
+    return float(covariance / (sx * sy))
+
+
+def multiple_correlation(predictors: np.ndarray, target: np.ndarray) -> float:
+    """Coefficient of multiple correlation R (Equations 2-3).
+
+    ``R^2 = c^T Rxx^{-1} c`` where ``c`` holds the Pearson correlations of
+    each predictor column with the target and ``Rxx`` is the predictor
+    inter-correlation matrix.  A pseudo-inverse handles the rank-deficient
+    case (correlated shader columns), which is equivalent to the R^2 of a
+    least-squares fit on the standardised predictors.
+
+    Args:
+        predictors: N x P matrix (one column per shader).
+        target: length-N target metric (e.g. per-frame cycles).
+
+    Returns:
+        R in [0, 1] (clipped against numerical noise).  Constant predictor
+        columns are dropped; if none remain the result is 0.0.
+    """
+    predictors = np.asarray(predictors, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64).ravel()
+    if predictors.ndim != 2:
+        raise AnalysisError(f"predictors must be 2-D, got {predictors.shape}")
+    if predictors.shape[0] != target.shape[0]:
+        raise AnalysisError(
+            f"{predictors.shape[0]} predictor rows vs {target.shape[0]} targets"
+        )
+    if target.size < 2:
+        raise AnalysisError("need at least 2 observations")
+    if target.std() == 0.0:
+        return 0.0
+
+    keep = predictors.std(axis=0) > 0.0
+    predictors = predictors[:, keep]
+    if predictors.shape[1] == 0:
+        return 0.0
+
+    standardized = (predictors - predictors.mean(axis=0)) / predictors.std(axis=0)
+    z_target = (target - target.mean()) / target.std()
+    n = target.size
+    c = standardized.T @ z_target / n
+    rxx = standardized.T @ standardized / n
+    r_squared = float(c @ np.linalg.pinv(rxx) @ c)
+    return float(np.sqrt(np.clip(r_squared, 0.0, 1.0)))

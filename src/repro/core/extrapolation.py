@@ -1,0 +1,45 @@
+"""Whole-sequence statistic estimation from representatives (Section III-E).
+
+"Only this frame needs to be simulated and the obtained output statistics
+will be scaled according to the total number of frames that are included in
+that cluster" — the estimate of any additive metric over the full sequence
+is the population-weighted sum of the representatives' per-frame values.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AnalysisError
+from repro.core.representatives import Cluster
+from repro.gpu.stats import FrameStats
+
+
+def extrapolate_statistics(
+    clusters: tuple[Cluster, ...] | list[Cluster],
+    representative_stats: dict[int, FrameStats],
+) -> FrameStats:
+    """Estimate full-sequence statistics from representative frames.
+
+    Args:
+        clusters: the clusters selected by MEGsim.
+        representative_stats: per-frame statistics of each representative,
+            keyed by frame id (from simulating only those frames).
+
+    Returns:
+        The estimated whole-sequence aggregate: each representative's
+        statistics scaled by its cluster population, summed over clusters.
+
+    Raises:
+        AnalysisError: when a representative's statistics are missing.
+    """
+    if not clusters:
+        raise AnalysisError("no clusters to extrapolate from")
+    estimate = FrameStats()
+    for cluster in clusters:
+        stats = representative_stats.get(cluster.representative)
+        if stats is None:
+            raise AnalysisError(
+                f"missing statistics for representative frame "
+                f"{cluster.representative} of cluster {cluster.index}"
+            )
+        estimate.merge(stats.scaled(float(cluster.weight)))
+    return estimate

@@ -1,0 +1,119 @@
+"""Per-frame characterisation vectors (Section III-B and III-C).
+
+A frame is characterised by the concatenation of three groups:
+
+* **VSCV** — per vertex shader: executions x weighted instruction count,
+* **FSCV** — per fragment shader: executions x weighted instruction count,
+* **PRIM** — the number of primitives handled by the Tiling Engine.
+
+Texture weighting is already folded into the shader weights (linear
+filtering counts 2, bilinear 4, trilinear 8 memory accesses per sample —
+see :attr:`repro.scene.shader.ShaderProgram.weighted_instruction_count`).
+
+Normalisation (Section III-C): each group's columns are scaled so the
+group's total mass across the whole sequence equals its pipeline-phase
+power fraction — Geometry 0.108 for VSCV, Raster 0.745 for FSCV and Tiling
+0.147 for PRIM — making Euclidean distances between frames reflect the
+energy-weighted activity difference along the pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ClusteringError
+from repro.gpu.functional_sim import SequenceProfile
+
+#: Figure 4 average power fractions: (Geometry, Raster, Tiling), i.e. the
+#: weights of the (VSCV, FSCV, PRIM) feature groups.
+PAPER_WEIGHTS = (0.108, 0.745, 0.147)
+
+
+@dataclass(frozen=True, slots=True)
+class FeatureOptions:
+    """Knobs of the feature matrix construction.
+
+    Attributes:
+        weights: (VSCV, FSCV, PRIM) group weights; defaults to the paper's
+            measured power fractions.
+        instruction_scaling: multiply execution counts by each shader's
+            weighted instruction count (the paper's construction).  Setting
+            ``False`` uses raw execution counts — an ablation knob.
+    """
+
+    weights: tuple[float, float, float] = PAPER_WEIGHTS
+    instruction_scaling: bool = True
+
+    def __post_init__(self) -> None:
+        if len(self.weights) != 3:
+            raise ClusteringError(f"expected 3 group weights, got {self.weights!r}")
+        if any(w < 0 for w in self.weights):
+            raise ClusteringError(f"group weights must be >= 0: {self.weights!r}")
+        if sum(self.weights) == 0:
+            raise ClusteringError("at least one group weight must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class FeatureGroups:
+    """Column spans of the three groups inside the feature matrix."""
+
+    vscv: slice
+    fscv: slice
+    prim: slice
+
+
+def _normalize_group(block: np.ndarray, weight: float) -> np.ndarray:
+    """Scale a group's columns so its total mass equals ``weight``.
+
+    An all-zero group (e.g. a sequence where a shader table is empty) stays
+    zero rather than dividing by zero.
+    """
+    total = block.sum()
+    if total == 0.0:
+        return block
+    return block * (weight / total)
+
+
+def build_feature_matrix(
+    profile: SequenceProfile,
+    options: FeatureOptions | None = None,
+) -> tuple[np.ndarray, FeatureGroups]:
+    """Build the N x D MEGsim input matrix from a functional profile.
+
+    Args:
+        profile: the functional simulation output for a whole sequence.
+        options: feature construction knobs; ``None`` uses the paper's.
+
+    Returns:
+        The feature matrix (one row per frame) and the column spans of the
+        (VSCV, FSCV, PRIM) groups within it.
+    """
+    if options is None:
+        options = FeatureOptions()
+    if profile.frame_count == 0:
+        raise ClusteringError("cannot build features for an empty profile")
+
+    vscv = profile.vscv_matrix().astype(np.float64)
+    fscv = profile.fscv_matrix().astype(np.float64)
+    prim = profile.prim_vector().reshape(-1, 1)
+
+    if options.instruction_scaling:
+        if vscv.shape[1]:
+            vscv = vscv * profile.vertex_shader_weights[np.newaxis, :]
+        if fscv.shape[1]:
+            fscv = fscv * profile.fragment_shader_weights[np.newaxis, :]
+
+    w_vscv, w_fscv, w_prim = options.weights
+    vscv = _normalize_group(vscv, w_vscv)
+    fscv = _normalize_group(fscv, w_fscv)
+    prim = _normalize_group(prim, w_prim)
+
+    matrix = np.concatenate([vscv, fscv, prim], axis=1)
+    groups = FeatureGroups(
+        vscv=slice(0, vscv.shape[1]),
+        fscv=slice(vscv.shape[1], vscv.shape[1] + fscv.shape[1]),
+        prim=slice(vscv.shape[1] + fscv.shape[1], matrix.shape[1]),
+    )
+    return matrix, groups

@@ -1,0 +1,165 @@
+"""K-means clustering, implemented from scratch (Section III-E).
+
+Lloyd's algorithm with k-means++ seeding, minimising the within-cluster sum
+of squares (WCSS, Equation 4 of the paper).  No scikit-learn: clustering is
+part of the paper's contribution path, so it is implemented here and
+validated by the test suite (including Hypothesis invariants).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ClusteringError
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of one k-means run.
+
+    Attributes:
+        centroids: k x D array of cluster centers.
+        labels: length-N assignment of each point to a centroid index.
+        wcss: within-cluster sum of squares of the final assignment.
+        iterations: Lloyd iterations performed before convergence.
+    """
+
+    centroids: np.ndarray
+    labels: np.ndarray
+    wcss: float
+    iterations: int
+
+    @property
+    def k(self) -> int:
+        """Number of clusters."""
+        return self.centroids.shape[0]
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Return the population of each cluster (length k)."""
+        return np.bincount(self.labels, minlength=self.k)
+
+
+def _squared_distances(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """N x k matrix of squared Euclidean distances."""
+    # ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2, computed blockwise in numpy.
+    cross = points @ centroids.T
+    p_sq = np.einsum("ij,ij->i", points, points)[:, np.newaxis]
+    c_sq = np.einsum("ij,ij->i", centroids, centroids)[np.newaxis, :]
+    distances = p_sq - 2.0 * cross + c_sq
+    np.maximum(distances, 0.0, out=distances)
+    return distances
+
+
+def _kmeans_plus_plus(
+    points: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids proportional to D^2."""
+    n = points.shape[0]
+    centroids = np.empty((k, points.shape[1]), dtype=points.dtype)
+    first = int(rng.integers(n))
+    centroids[0] = points[first]
+    closest_sq = _squared_distances(points, centroids[:1]).ravel()
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total == 0.0:
+            # All remaining points coincide with chosen centroids; any
+            # choice is equivalent.
+            index = int(rng.integers(n))
+        else:
+            index = int(rng.choice(n, p=closest_sq / total))
+        centroids[i] = points[index]
+        candidate_sq = _squared_distances(points, centroids[i : i + 1]).ravel()
+        np.minimum(closest_sq, candidate_sq, out=closest_sq)
+    return centroids
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    seed: int = 0,
+    max_iterations: int = 300,
+    init: str = "k-means++",
+    initial_centroids: np.ndarray | None = None,
+) -> KMeansResult:
+    """Cluster ``points`` into ``k`` groups with Lloyd's algorithm.
+
+    Args:
+        points: N x D data matrix.
+        k: number of clusters, 1 <= k <= N.
+        seed: RNG seed for the initialisation (the paper varies this to
+            obtain MEGsim's error distribution, Section V-C).
+        max_iterations: Lloyd iteration cap.
+        init: ``"k-means++"`` (default) or ``"random"`` (uniformly sampled
+            distinct points).
+        initial_centroids: optional k x D warm-start centroids (used by
+            x-means' improve-params step); overrides ``init``.
+
+    Raises:
+        ClusteringError: on bad shapes, k out of range or unknown init.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ClusteringError(f"points must be 2-D, got shape {points.shape}")
+    n = points.shape[0]
+    if n == 0:
+        raise ClusteringError("cannot cluster an empty dataset")
+    if not 1 <= k <= n:
+        raise ClusteringError(f"k must be in [1, {n}], got {k}")
+    if max_iterations < 1:
+        raise ClusteringError(f"max_iterations must be >= 1, got {max_iterations}")
+
+    rng = np.random.default_rng(seed)
+    if initial_centroids is not None:
+        initial_centroids = np.asarray(initial_centroids, dtype=np.float64)
+        if initial_centroids.shape != (k, points.shape[1]):
+            raise ClusteringError(
+                f"initial_centroids shape {initial_centroids.shape} does not "
+                f"match (k={k}, D={points.shape[1]})"
+            )
+        centroids = initial_centroids.copy()
+    elif init == "k-means++":
+        centroids = _kmeans_plus_plus(points, k, rng)
+    elif init == "random":
+        indices = rng.choice(n, size=k, replace=False)
+        centroids = points[indices].copy()
+    else:
+        raise ClusteringError(f"unknown init method {init!r}")
+
+    labels = np.zeros(n, dtype=np.int64)
+    for iteration in range(1, max_iterations + 1):
+        distances = _squared_distances(points, centroids)
+        new_labels = distances.argmin(axis=1)
+        # Refill empty clusters with the points farthest from their
+        # centroid, the standard Lloyd repair step.
+        counts = np.bincount(new_labels, minlength=k)
+        empties = np.flatnonzero(counts == 0)
+        if empties.size:
+            closest = distances[np.arange(n), new_labels]
+            farthest = np.argsort(closest)[::-1]
+            for slot, point_index in zip(empties, farthest):
+                new_labels[point_index] = slot
+            counts = np.bincount(new_labels, minlength=k)
+        converged = iteration > 1 and bool(np.array_equal(labels, new_labels))
+        labels = new_labels
+        # Recompute centroids as cluster means.  A cluster can still end up
+        # empty when the repair step stole its only point (duplicate-heavy
+        # data); its centroid then keeps position zero and the final
+        # assignment pass ignores it.
+        centroids = np.zeros_like(centroids)
+        np.add.at(centroids, labels, points)
+        centroids /= np.maximum(counts, 1)[:, np.newaxis]
+        if converged:
+            break
+
+    final_distances = _squared_distances(points, centroids)
+    labels = final_distances.argmin(axis=1)
+    # Guard against the final re-assignment emptying a cluster: keep the
+    # previous assignment for clusters that would vanish.
+    if np.bincount(labels, minlength=k).min() == 0:
+        labels = new_labels
+    wcss = float(final_distances[np.arange(n), labels].sum())
+    return KMeansResult(
+        centroids=centroids, labels=labels, wcss=wcss, iterations=iteration
+    )

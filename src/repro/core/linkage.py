@@ -1,0 +1,97 @@
+"""Agglomerative (hierarchical) clustering strategy.
+
+SimPoint's original study compared k-means against hierarchical linkage
+clustering; this module provides the same comparison point for MEGsim.
+The dendrogram is built once (Ward linkage over the feature vectors), then
+cut at every candidate k; each cut is scored with the same BIC the k-means
+path uses, and the cut is chosen with the same T-threshold rule — so the
+only variable is the clustering algorithm itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.cluster.hierarchy import fcluster, linkage
+
+from repro.errors import ClusteringError
+from repro.core.bic import bic_score
+from repro.core.cluster_search import ClusterSearchResult, PAPER_THRESHOLD
+from repro.core.kmeans import KMeansResult
+
+
+def _result_from_labels(points: np.ndarray, labels: np.ndarray) -> KMeansResult:
+    """Wrap a label assignment as a KMeansResult (centroids = means)."""
+    k = int(labels.max()) + 1
+    centroids = np.zeros((k, points.shape[1]))
+    counts = np.bincount(labels, minlength=k).astype(np.float64)
+    np.add.at(centroids, labels, points)
+    centroids /= np.maximum(counts, 1.0)[:, np.newaxis]
+    deltas = points - centroids[labels]
+    wcss = float(np.einsum("ij,ij->", deltas, deltas))
+    return KMeansResult(centroids=centroids, labels=labels, wcss=wcss,
+                        iterations=0)
+
+
+def agglomerative_search(
+    points: np.ndarray,
+    threshold: float = PAPER_THRESHOLD,
+    max_k: int | None = None,
+    patience: int = 1,
+) -> ClusterSearchResult:
+    """BIC-guided cut selection over a Ward-linkage dendrogram.
+
+    Mirrors :func:`repro.core.cluster_search.search_clustering` exactly —
+    grow k until the BIC drops ``patience`` times, then pick the smallest
+    k reaching the T-threshold of the BIC spread — but assigns frames by
+    cutting the hierarchy instead of running k-means.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise ClusteringError(f"invalid points shape {points.shape}")
+    if not 0.0 <= threshold <= 1.0:
+        raise ClusteringError(f"threshold must be in [0, 1], got {threshold}")
+    if patience < 1:
+        raise ClusteringError(f"patience must be >= 1, got {patience}")
+    n = points.shape[0]
+    cap = n if max_k is None else min(max_k, n)
+    if cap < 1:
+        raise ClusteringError(f"max_k must be >= 1, got {max_k}")
+
+    if n == 1:
+        clustering = _result_from_labels(points, np.zeros(1, dtype=np.int64))
+        score = bic_score(points, clustering)
+        return ClusterSearchResult(
+            clustering=clustering, chosen_k=1, explored_k=(1,),
+            bic_scores=(score,), threshold=threshold,
+        )
+
+    tree = linkage(points, method="ward")
+    clusterings: list[KMeansResult] = []
+    scores: list[float] = []
+    decreases = 0
+    for k in range(1, cap + 1):
+        raw = fcluster(tree, t=k, criterion="maxclust") - 1
+        # fcluster may deliver fewer groups than requested on degenerate
+        # data; compact the label space either way.
+        _, labels = np.unique(raw, return_inverse=True)
+        clustering = _result_from_labels(points, labels.astype(np.int64))
+        score = bic_score(points, clustering)
+        clusterings.append(clustering)
+        scores.append(score)
+        if len(scores) >= 2 and score < scores[-2]:
+            decreases += 1
+            if decreases >= patience:
+                break
+        else:
+            decreases = 0
+
+    best, worst = max(scores), min(scores)
+    cutoff = worst + threshold * (best - worst)
+    chosen_index = next(i for i, s in enumerate(scores) if s >= cutoff)
+    return ClusterSearchResult(
+        clustering=clusterings[chosen_index],
+        chosen_k=clusterings[chosen_index].k,
+        explored_k=tuple(c.k for c in clusterings),
+        bic_scores=tuple(scores),
+        threshold=threshold,
+    )

@@ -1,0 +1,52 @@
+"""Random linear projection of feature vectors (SimPoint's trick).
+
+SimPoint reduces its basic-block vectors to ~15 dimensions with a random
+linear projection before clustering; by the Johnson-Lindenstrauss lemma
+pairwise distances are approximately preserved while k-means gets much
+cheaper.  MEGsim's vectors are small enough (tens of shaders) that the
+paper clusters them directly, but games with very large shader tables
+benefit from the same trick — provided here as
+``MEGsimOptions(projection_dims=...)`` and studied in the ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ClusteringError
+
+
+def random_projection_matrix(
+    input_dims: int, output_dims: int, seed: int = 0
+) -> np.ndarray:
+    """A Gaussian random projection matrix (input_dims x output_dims).
+
+    Entries are i.i.d. ``N(0, 1/output_dims)`` so projected squared
+    distances are unbiased estimates of the originals.
+    """
+    if input_dims < 1 or output_dims < 1:
+        raise ClusteringError(
+            f"dimensions must be >= 1, got {input_dims} -> {output_dims}"
+        )
+    rng = np.random.default_rng(seed)
+    return rng.normal(0.0, 1.0 / np.sqrt(output_dims),
+                      size=(input_dims, output_dims))
+
+
+def project_features(
+    features: np.ndarray, output_dims: int, seed: int = 0
+) -> np.ndarray:
+    """Project an N x D feature matrix down to ``output_dims`` dimensions.
+
+    A no-op (copy) when the matrix is already at most ``output_dims``
+    wide — projecting *up* would only add noise.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2:
+        raise ClusteringError(f"features must be 2-D, got {features.shape}")
+    if output_dims < 1:
+        raise ClusteringError(f"output_dims must be >= 1, got {output_dims}")
+    if features.shape[1] <= output_dims:
+        return features.copy()
+    matrix = random_projection_matrix(features.shape[1], output_dims, seed)
+    return features @ matrix

@@ -1,0 +1,65 @@
+"""Adjusted Rand Index (Hubert & Arabie, 1985), from scratch.
+
+Measures the agreement between two partitions of the same items,
+corrected for chance: 1.0 for identical partitions (up to relabeling),
+~0.0 for independent random partitions, negative for worse-than-chance
+agreement.  Used to score how well MEGsim's frame clusters recover the
+workload generator's ground-truth gameplay phases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+def _comb2(values: np.ndarray) -> float:
+    """Sum of C(n, 2) over an array of counts."""
+    values = values.astype(np.float64)
+    return float((values * (values - 1.0) / 2.0).sum())
+
+
+def adjusted_rand_index(labels_a, labels_b) -> float:
+    """Adjusted Rand Index between two labelings of the same items.
+
+    Args:
+        labels_a: first partition (any hashable labels).
+        labels_b: second partition, same length.
+
+    Returns:
+        ARI in [-1, 1]; 1.0 means identical partitions.  The degenerate
+        cases where the expected index equals the maximum (both partitions
+        all-singletons or both one-cluster) return 1.0 when the partitions
+        are equal-shaped, following the standard convention.
+    """
+    a = np.asarray(labels_a)
+    b = np.asarray(labels_b)
+    if a.shape != b.shape or a.ndim != 1:
+        raise AnalysisError(
+            f"label arrays must be 1-D and equal length, got {a.shape} / {b.shape}"
+        )
+    n = a.shape[0]
+    if n == 0:
+        raise AnalysisError("cannot compare empty labelings")
+
+    _, a_codes = np.unique(a, return_inverse=True)
+    _, b_codes = np.unique(b, return_inverse=True)
+    n_a = int(a_codes.max()) + 1
+    n_b = int(b_codes.max()) + 1
+
+    contingency = np.zeros((n_a, n_b), dtype=np.int64)
+    np.add.at(contingency, (a_codes, b_codes), 1)
+
+    sum_cells = _comb2(contingency.ravel())
+    sum_rows = _comb2(contingency.sum(axis=1))
+    sum_cols = _comb2(contingency.sum(axis=0))
+    total_pairs = n * (n - 1) / 2.0
+
+    expected = sum_rows * sum_cols / total_pairs if total_pairs else 0.0
+    maximum = (sum_rows + sum_cols) / 2.0
+    if maximum == expected:
+        # Both partitions are all-singletons or both trivial: identical
+        # partitions score 1, anything else 0.
+        return 1.0 if np.array_equal(a_codes, b_codes) else 0.0
+    return float((sum_cells - expected) / (maximum - expected))

@@ -1,0 +1,51 @@
+"""Random sub-sampling baseline (Section V-C).
+
+The naive comparison point: split the sequence into ``k`` *fixed-size*
+contiguous ranges of ``N / k`` frames, pick one random representative per
+range, and scale each representative by its range's population.  Two
+differences from MEGsim, both noted by the paper: the ranges have fixed
+size (MEGsim's clusters vary), and there is no BIC-style stop criterion —
+the evaluation iteratively grows ``k`` until the error matches MEGsim's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.core.representatives import Cluster
+
+
+def random_sampling_plan(
+    total_frames: int, k: int, rng: np.random.Generator
+) -> tuple[Cluster, ...]:
+    """Build a random sub-sampling plan of ``k`` representatives.
+
+    Args:
+        total_frames: N, the sequence length.
+        k: number of representatives (1 <= k <= N).
+        rng: source of randomness for the per-range picks.
+
+    Returns:
+        ``k`` clusters (contiguous frame ranges), each with a uniformly
+        chosen representative; populations sum to N.
+    """
+    if total_frames < 1:
+        raise AnalysisError(f"total_frames must be >= 1, got {total_frames}")
+    if not 1 <= k <= total_frames:
+        raise AnalysisError(f"k must be in [1, {total_frames}], got {k}")
+    boundaries = np.linspace(0, total_frames, k + 1).astype(int)
+    clusters = []
+    for index in range(k):
+        start, stop = int(boundaries[index]), int(boundaries[index + 1])
+        members = tuple(range(start, stop))
+        representative = int(rng.integers(start, stop))
+        clusters.append(
+            Cluster(
+                index=index,
+                representative=representative,
+                members=members,
+                weight=len(members),
+            )
+        )
+    return tuple(clusters)

@@ -1,0 +1,88 @@
+"""Representative frame selection (Section III-E).
+
+After clustering, each cluster is represented by the frame whose feature
+vector lies closest (Euclidean) to the cluster centroid.  Only the
+representatives are simulated cycle-accurately; their statistics are scaled
+by the cluster populations (see :mod:`repro.core.extrapolation`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ClusteringError
+from repro.core.kmeans import KMeansResult
+
+
+@dataclass(frozen=True, slots=True)
+class Cluster:
+    """One cluster of similar frames.
+
+    Attributes:
+        index: cluster id (centroid row in the k-means result).
+        representative: frame id to simulate for this cluster.
+        members: frame ids assigned to the cluster (sorted).
+        weight: cluster population = scaling factor for the
+            representative's statistics.
+    """
+
+    index: int
+    representative: int
+    members: tuple[int, ...]
+    weight: int
+
+    def __post_init__(self) -> None:
+        if self.representative not in self.members:
+            raise ClusteringError(
+                f"representative {self.representative} not a member of cluster "
+                f"{self.index}"
+            )
+        if self.weight != len(self.members):
+            raise ClusteringError(
+                f"cluster {self.index}: weight {self.weight} != population "
+                f"{len(self.members)}"
+            )
+
+
+def select_representatives(
+    features: np.ndarray, clustering: KMeansResult
+) -> tuple[Cluster, ...]:
+    """Pick each cluster's representative frame.
+
+    Args:
+        features: the N x D matrix the clustering was computed on (frame id
+            = row index).
+        clustering: the k-means outcome.
+
+    Returns:
+        One :class:`Cluster` per *non-empty* cluster, ordered by cluster
+        index.  Cluster weights sum to N.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    if features.shape[0] != clustering.labels.shape[0]:
+        raise ClusteringError(
+            f"features cover {features.shape[0]} frames, clustering covers "
+            f"{clustering.labels.shape[0]}"
+        )
+    clusters: list[Cluster] = []
+    for index in range(clustering.k):
+        member_ids = np.flatnonzero(clustering.labels == index)
+        if member_ids.size == 0:
+            continue
+        centroid = clustering.centroids[index]
+        deltas = features[member_ids] - centroid[np.newaxis, :]
+        distances = np.einsum("ij,ij->i", deltas, deltas)
+        representative = int(member_ids[int(distances.argmin())])
+        clusters.append(
+            Cluster(
+                index=index,
+                representative=representative,
+                members=tuple(int(m) for m in member_ids),
+                weight=int(member_ids.size),
+            )
+        )
+    if sum(c.weight for c in clusters) != features.shape[0]:
+        raise ClusteringError("cluster populations do not cover every frame")
+    return tuple(clusters)

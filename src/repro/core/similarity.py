@@ -1,0 +1,81 @@
+"""Frame similarity matrix (Section III-D, Figure 5).
+
+The similarity between two frames is the Euclidean distance between their
+characterisation vectors; a whole sequence yields an upper-triangular
+N x N matrix whose dark (near-zero) regions reveal repetitive gameplay
+phases, analogous to SimPoint's basic-block similarity matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ClusteringError
+
+
+def similarity_matrix(features: np.ndarray, upper_only: bool = True) -> np.ndarray:
+    """Pairwise Euclidean distance matrix between frame feature vectors.
+
+    Args:
+        features: N x D feature matrix.
+        upper_only: if ``True`` (the paper's presentation) the strictly
+            lower triangle is zeroed, producing the upper-triangular matrix
+            of Figure 5; otherwise the full symmetric matrix is returned.
+
+    Returns:
+        An N x N ``float64`` matrix; ``[x, y]`` is the distance between
+        frames x and y (diagonal is 0).
+    """
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2 or features.shape[0] == 0:
+        raise ClusteringError(f"invalid features shape {features.shape}")
+    squared_norms = np.einsum("ij,ij->i", features, features)
+    squared = (
+        squared_norms[:, np.newaxis]
+        - 2.0 * (features @ features.T)
+        + squared_norms[np.newaxis, :]
+    )
+    np.maximum(squared, 0.0, out=squared)
+    distances = np.sqrt(squared)
+    np.fill_diagonal(distances, 0.0)
+    if upper_only:
+        distances = np.triu(distances)
+    return distances
+
+
+def render_similarity_matrix(
+    distances: np.ndarray, width: int = 64, charset: str = " .:-=+*#%@"
+) -> str:
+    """Render a similarity matrix as ASCII art (the darker, the more similar).
+
+    The paper plots dark points for similar frame pairs; here *denser*
+    characters mean more similar (smaller distance), so repetitive phases
+    appear as dense blocks.
+
+    Args:
+        distances: N x N distance matrix from :func:`similarity_matrix`.
+        width: output resolution in characters (the matrix is downsampled).
+        charset: characters from most to least similar.
+    """
+    distances = np.asarray(distances, dtype=np.float64)
+    if distances.ndim != 2 or distances.shape[0] != distances.shape[1]:
+        raise ClusteringError(f"expected a square matrix, got {distances.shape}")
+    n = distances.shape[0]
+    # Work on the symmetric matrix so downsampling bins are well defined.
+    full = np.maximum(distances, distances.T)
+    size = min(width, n)
+    edges = np.linspace(0, n, size + 1).astype(int)
+    blocks = np.empty((size, size))
+    for i in range(size):
+        for j in range(size):
+            blocks[i, j] = full[
+                edges[i] : edges[i + 1], edges[j] : edges[j + 1]
+            ].mean()
+    peak = blocks.max()
+    if peak > 0:
+        blocks /= peak
+    levels = np.minimum(
+        (blocks * len(charset)).astype(int), len(charset) - 1
+    )
+    rows = ["".join(charset[level] for level in row) for row in levels]
+    return "\n".join(rows)

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the MEGsim reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch one base class at an API boundary.  Errors are raised eagerly with
+actionable messages instead of returning sentinel values.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid simulator or methodology configuration was supplied."""
+
+
+class TraceError(ReproError):
+    """A workload trace is malformed or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The functional or cycle-accurate simulator reached an invalid state."""
+
+
+class ClusteringError(ReproError):
+    """Clustering could not be performed (bad shapes, empty data, k > N...)."""
+
+
+class AnalysisError(ReproError):
+    """An experiment or analysis step received inconsistent inputs."""

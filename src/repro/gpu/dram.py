@@ -1,0 +1,111 @@
+"""Main memory model (DRAMsim2 substitute).
+
+A bank/row-buffer model of the dual-channel LPDDR3-like memory of Table I.
+The timing simulator feeds it *region transfers* — contiguous runs of cache
+lines produced by L2 misses and writebacks — and it accounts:
+
+* **accesses**: one per line moved (the paper's "number of DRAM accesses"),
+* **row hits/misses**: lines within one 2 KiB row after the first are row
+  hits (open-row policy); crossing a row boundary closes/opens a row,
+* **busy cycles**: bus occupancy from the 4 B/cycle bandwidth plus row
+  activation latency, used by the pipeline model for bandwidth stalls,
+* **average latency**: between the 50 (row hit) and 100 (row miss) cycle
+  bounds of Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.gpu.config import DRAMConfig
+
+
+@dataclass(slots=True)
+class DRAMStats:
+    """Counters for main memory traffic."""
+
+    read_accesses: int = 0
+    write_accesses: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    busy_cycles: int = 0
+
+    @property
+    def total_accesses(self) -> int:
+        """Total line transfers (reads + writes)."""
+        return self.read_accesses + self.write_accesses
+
+    @property
+    def row_hit_rate(self) -> float:
+        """Fraction of accesses hitting an open row."""
+        total = self.row_hits + self.row_misses
+        if total == 0:
+            return 0.0
+        return self.row_hits / total
+
+    def merge(self, other: "DRAMStats") -> None:
+        """Accumulate ``other`` into ``self``."""
+        self.read_accesses += other.read_accesses
+        self.write_accesses += other.write_accesses
+        self.row_hits += other.row_hits
+        self.row_misses += other.row_misses
+        self.busy_cycles += other.busy_cycles
+
+
+class DRAMModel:
+    """Open-row, multi-bank main memory fed with contiguous line runs."""
+
+    def __init__(self, config: DRAMConfig) -> None:
+        self.config = config
+        self.stats = DRAMStats()
+        self._lines_per_row = config.row_bytes // config.line_bytes
+
+    def transfer(self, lines: int, write: bool = False, contiguous: bool = True) -> int:
+        """Move ``lines`` cache lines; return the access latency in cycles.
+
+        Args:
+            lines: number of lines in the run.
+            write: direction of the transfer.
+            contiguous: ``True`` when the run is a sequential region sweep
+                (vertex buffers, texture streams, framebuffer flushes);
+                every ``lines_per_row``-th line then opens a new row.
+                ``False`` models scattered single-line traffic where every
+                line is a row miss.
+
+        Returns:
+            The latency, in GPU cycles, of the *first* line of the run —
+            what a stalled pipeline stage waits for.  Subsequent lines
+            stream behind it and are accounted as busy cycles.
+        """
+        if lines < 1:
+            raise SimulationError(f"lines must be >= 1, got {lines}")
+        if contiguous:
+            rows_opened = 1 + (lines - 1) // self._lines_per_row
+        else:
+            rows_opened = lines
+        row_hits = lines - rows_opened
+        self.stats.row_hits += row_hits
+        self.stats.row_misses += rows_opened
+        if write:
+            self.stats.write_accesses += lines
+        else:
+            self.stats.read_accesses += lines
+        transfer_cycles = lines * self.config.line_transfer_cycles
+        activation_cycles = rows_opened * (
+            self.config.max_latency_cycles - self.config.min_latency_cycles
+        )
+        self.stats.busy_cycles += transfer_cycles + activation_cycles
+        # First-line latency: a row miss pays the full latency, a row hit
+        # (only possible when the run continues an open row, which a fresh
+        # run never does) would pay the minimum.
+        return self.config.max_latency_cycles
+
+    @property
+    def average_latency(self) -> float:
+        """Average per-access latency implied by the row hit rate."""
+        hit_rate = self.stats.row_hit_rate
+        return (
+            hit_rate * self.config.min_latency_cycles
+            + (1.0 - hit_rate) * self.config.max_latency_cycles
+        )

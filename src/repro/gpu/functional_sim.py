@@ -1,0 +1,143 @@
+"""Functional simulator (Softpipe substitute).
+
+A fast, timing-free pass over a workload trace that produces exactly the
+information MEGsim needs (Section III-B of the paper):
+
+* **VSCV** — how many times each vertex shader executed per frame,
+* **FSCV** — how many times each fragment shader executed per frame,
+* **PRIM** — the number of primitives processed by the Tiling Engine,
+
+plus the per-shader weighted instruction counts (texture samples weighted
+2/4/8 by filtering mode) used to scale the count vectors.
+
+It shares the work model with the cycle-accurate simulator, so the two
+agree exactly on shader invocation counts — the same property TEAPOT gets
+from feeding its timing model with the functional front-end's trace.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.gpu.config import GPUConfig, default_config
+from repro.gpu.workmodel import compute_frame_work
+from repro.scene.frame import Frame
+from repro.scene.trace import WorkloadTrace
+
+
+@dataclass(frozen=True)
+class FrameProfile:
+    """Per-frame characterisation data collected functionally.
+
+    Attributes:
+        frame_id: index of the frame in the sequence.
+        vs_executions: executions of each vertex shader (length = size of
+            the trace's vertex shader table).
+        fs_executions: executions of each fragment shader.
+        primitives: primitives processed by the Tiling Engine (PRIM).
+        vertex_instructions: total vertex shader instructions executed.
+        fragment_instructions: total fragment shader instructions executed.
+    """
+
+    frame_id: int
+    vs_executions: np.ndarray
+    fs_executions: np.ndarray
+    primitives: int
+    vertex_instructions: int
+    fragment_instructions: int
+
+
+@dataclass(frozen=True)
+class SequenceProfile:
+    """Functional profile of a whole sequence: MEGsim's raw input.
+
+    Attributes:
+        trace_name: benchmark alias.
+        profiles: one :class:`FrameProfile` per frame, in order.
+        vertex_shader_weights: weighted instruction count of each vertex
+            shader (Section III-B texture weighting).
+        fragment_shader_weights: weighted instruction count of each
+            fragment shader.
+        elapsed_seconds: wall-clock cost of the functional pass.
+    """
+
+    trace_name: str
+    profiles: tuple[FrameProfile, ...]
+    vertex_shader_weights: np.ndarray
+    fragment_shader_weights: np.ndarray
+    elapsed_seconds: float
+
+    @property
+    def frame_count(self) -> int:
+        """Number of profiled frames."""
+        return len(self.profiles)
+
+    def vscv_matrix(self) -> np.ndarray:
+        """Stack raw vertex-shader execution counts into an N x p matrix."""
+        return np.stack([p.vs_executions for p in self.profiles])
+
+    def fscv_matrix(self) -> np.ndarray:
+        """Stack raw fragment-shader execution counts into an N x q matrix."""
+        return np.stack([p.fs_executions for p in self.profiles])
+
+    def prim_vector(self) -> np.ndarray:
+        """Per-frame primitive counts as an N-vector."""
+        return np.array([p.primitives for p in self.profiles], dtype=np.float64)
+
+
+class FunctionalSimulator:
+    """Profiles traces without timing state — much faster than cycle sim."""
+
+    def __init__(self, config: GPUConfig | None = None) -> None:
+        self.config = config if config is not None else default_config()
+
+    def profile_frame(self, frame: Frame, trace: WorkloadTrace) -> FrameProfile:
+        """Profile one frame of ``trace``."""
+        work = compute_frame_work(frame, self.config)
+        vs_exec = np.zeros(len(trace.vertex_shaders), dtype=np.int64)
+        fs_exec = np.zeros(len(trace.fragment_shaders), dtype=np.int64)
+        vertex_instructions = 0
+        fragment_instructions = 0
+        for dcw in work.draw_work:
+            dc = dcw.draw_call
+            vs_exec[dc.vertex_shader.shader_id] += dcw.vertices_shaded
+            fs_exec[dc.fragment_shader.shader_id] += dcw.fragments_shaded
+            vertex_instructions += (
+                dcw.vertices_shaded * dc.vertex_shader.instruction_count
+            )
+            fragment_instructions += (
+                dcw.fragments_shaded * dc.fragment_shader.instruction_count
+            )
+        return FrameProfile(
+            frame_id=frame.frame_id,
+            vs_executions=vs_exec,
+            fs_executions=fs_exec,
+            primitives=work.primitives_binned,
+            vertex_instructions=vertex_instructions,
+            fragment_instructions=fragment_instructions,
+        )
+
+    def profile(self, trace: WorkloadTrace) -> SequenceProfile:
+        """Profile every frame of ``trace``."""
+        if trace.frame_count == 0:
+            raise SimulationError("cannot profile an empty trace")
+        started = time.perf_counter()
+        profiles = tuple(self.profile_frame(f, trace) for f in trace.frames)
+        elapsed = time.perf_counter() - started
+        return SequenceProfile(
+            trace_name=trace.name,
+            profiles=profiles,
+            vertex_shader_weights=np.array(
+                [s.weighted_instruction_count for s in trace.vertex_shaders],
+                dtype=np.float64,
+            ),
+            fragment_shader_weights=np.array(
+                [s.weighted_instruction_count for s in trace.fragment_shaders],
+                dtype=np.float64,
+            ),
+            elapsed_seconds=elapsed,
+        )

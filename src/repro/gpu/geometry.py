@@ -1,0 +1,76 @@
+"""Geometry Pipeline timing model.
+
+Models the front-end of Figure 1: the Vertex Fetcher loads vertex records
+through the vertex cache, the Vertex Processors run the vertex shader, and
+Primitive Assembly groups transformed vertices into triangles that are
+clipped and culled before entering the Tiling Engine.
+
+The stages stream concurrently, coupled by the vertex input/output queues,
+so phase time is the slowest stage's time plus exposed memory stalls (see
+:func:`repro.gpu.queues.pipelined_cycles`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.hierarchy import MemorySystem
+from repro.gpu.queues import memory_stall_cycles, pipelined_cycles
+from repro.gpu.workmodel import FrameWork
+
+
+@dataclass(frozen=True, slots=True)
+class GeometryResult:
+    """Timing and activity of the geometry phase of one frame."""
+
+    cycles: float
+    stall_cycles: float
+    vertex_instructions: int
+    fetch_accesses: int
+
+
+def simulate_geometry(
+    work: FrameWork, config: GPUConfig, mem: MemorySystem
+) -> GeometryResult:
+    """Run the geometry phase of one frame through the memory system."""
+    vertex_instructions = 0
+    fetch_accesses = 0
+    stall = 0.0
+
+    for dcw in work.draw_work:
+        dc = dcw.draw_call
+        vertex_instructions += (
+            dcw.vertices_shaded * dc.vertex_shader.instruction_count
+        )
+        # The Vertex Fetcher reads each instance's vertex records once; the
+        # post-transform cache removes intra-instance re-reads.
+        mesh = dc.mesh
+        lines = max(1, math.ceil(mesh.vertex_buffer_bytes / config.vertex_cache.line_bytes))
+        accesses = dcw.vertices_shaded
+        fetch_accesses += accesses
+        result = mem.access(
+            "vertex",
+            key=("vb", mesh.mesh_id),
+            distinct_lines=lines,
+            total_accesses=accesses,
+            phase="geometry",
+        )
+        if result.l1_misses:
+            stall += memory_stall_cycles(
+                result.l1_misses, result.latency_cycles, config.vertex_input_queue
+            )
+
+    vs_cycles = vertex_instructions / config.vertex_processors
+    fetch_cycles = float(fetch_accesses)  # 1 vertex record per cycle
+    assembly_cycles = (
+        work.vertices_shaded / config.primitive_assembly_vertices_per_cycle
+    )
+    cycles = pipelined_cycles([fetch_cycles, vs_cycles, assembly_cycles]) + stall
+    return GeometryResult(
+        cycles=cycles,
+        stall_cycles=stall,
+        vertex_instructions=vertex_instructions,
+        fetch_accesses=fetch_accesses,
+    )

@@ -1,0 +1,76 @@
+"""Inter-stage queue model.
+
+The Table I queues decouple pipeline stages.  In the batch-granular timing
+model their role is to bound two quantities:
+
+* **memory-level parallelism** — how many outstanding misses a stage can
+  overlap, which divides its exposed memory stall time
+  (:func:`memory_stall_cycles`), and
+* **rate smoothing** — how much of a producer/consumer rate mismatch is
+  absorbed before the slower stage throttles the pipe
+  (:func:`pipelined_cycles`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.gpu.config import QueueConfig
+
+
+def memory_stall_cycles(
+    misses: int, latency_cycles: float, queue: QueueConfig
+) -> float:
+    """Exposed stall cycles for ``misses`` overlapped through ``queue``.
+
+    A stage that can keep ``queue.entries`` work items in flight overlaps up
+    to that many misses; the exposed stall is the serial latency divided by
+    the achievable overlap.
+    """
+    if misses < 0:
+        raise SimulationError(f"misses must be >= 0, got {misses}")
+    if latency_cycles < 0:
+        raise SimulationError(f"latency must be >= 0, got {latency_cycles}")
+    if misses == 0:
+        return 0.0
+    overlap = min(queue.entries, misses)
+    return misses * latency_cycles / overlap
+
+
+def pipelined_cycles(stage_cycles: list[float]) -> float:
+    """Cycles for stages running concurrently, coupled by queues.
+
+    With adequate queueing, concurrently running stages overlap almost
+    perfectly and the pipe runs at the pace of the slowest stage; the other
+    stages' work hides underneath it.
+    """
+    if not stage_cycles:
+        return 0.0
+    if any(c < 0 for c in stage_cycles):
+        raise SimulationError(f"negative stage cycles in {stage_cycles}")
+    return max(stage_cycles)
+
+
+@dataclass(slots=True)
+class QueueOccupancy:
+    """Occupancy statistics of one queue over a simulation.
+
+    The batch model does not simulate cycle-by-cycle occupancy; it records
+    the items that flowed through each queue so utilisation and the energy
+    model can account for queue activity.
+    """
+
+    config: QueueConfig
+    items_enqueued: int = 0
+
+    def push(self, items: int) -> None:
+        """Record ``items`` flowing through the queue."""
+        if items < 0:
+            raise SimulationError(f"items must be >= 0, got {items}")
+        self.items_enqueued += items
+
+    @property
+    def bytes_moved(self) -> int:
+        """Total bytes that traversed the queue."""
+        return self.items_enqueued * self.config.entry_bytes

@@ -1,0 +1,101 @@
+"""Tiling Engine timing model.
+
+The Polygon List Builder walks the primitives surviving clip/cull, finds
+the screen tiles each one overlaps, and appends one polygon-list entry per
+(primitive, tile) pair.  The Tiling Engine also stores the geometry
+phase's transformed vertices to the *varyings buffer* — in TBR the whole
+frame's post-transform geometry must live in memory until rasterization
+consumes it.  Both structures are written through the tile cache; anything
+larger than the cache streams out to the L2/DRAM — exactly the traffic the
+paper's "L1 (tile cache) accesses" metric counts (together with the raster
+phase reading the data back).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.hierarchy import MemorySystem
+from repro.gpu.queues import memory_stall_cycles
+from repro.gpu.workmodel import FrameWork
+
+
+@dataclass(frozen=True, slots=True)
+class TilingResult:
+    """Timing and activity of the tiling phase of one frame."""
+
+    cycles: float
+    stall_cycles: float
+    list_entries: int
+
+
+def polygon_list_lines(entries: int, config: GPUConfig) -> int:
+    """Cache lines occupied by a polygon list of ``entries`` entries."""
+    return max(
+        1,
+        math.ceil(entries * config.polygon_list_entry_bytes / config.tile_cache.line_bytes),
+    )
+
+
+def varyings_lines(vertices: int, config: GPUConfig) -> int:
+    """Cache lines occupied by ``vertices`` transformed-vertex records."""
+    return max(
+        1,
+        math.ceil(vertices * config.varyings_bytes_per_vertex / config.tile_cache.line_bytes),
+    )
+
+
+def simulate_tiling(
+    work: FrameWork, config: GPUConfig, mem: MemorySystem
+) -> TilingResult:
+    """Run the binning phase of one frame through the memory system.
+
+    An IMR configuration has no Tiling Engine: primitives stream from
+    primitive assembly directly into the rasterizer through on-chip
+    queues, so the phase costs nothing and touches no memory.
+    """
+    if config.rendering_mode == "imr":
+        return TilingResult(cycles=0.0, stall_cycles=0.0, list_entries=0)
+    entries = 0
+    stall = 0.0
+    for index, dcw in enumerate(work.draw_work):
+        # The varyings of every shaded vertex are stored, even for geometry
+        # later clipped away (its vertices were transformed regardless).
+        varyings = varyings_lines(dcw.vertices_shaded, config)
+        result = mem.access(
+            "tile",
+            key=("varyings", index),
+            distinct_lines=varyings,
+            total_accesses=dcw.vertices_shaded,
+            phase="tiling",
+            write=True,
+        )
+        if result.l1_misses:
+            stall += memory_stall_cycles(
+                result.l1_misses, result.latency_cycles, config.tile_queue
+            )
+        if dcw.prim_tile_pairs == 0:
+            continue
+        entries += dcw.prim_tile_pairs
+        lines = polygon_list_lines(dcw.prim_tile_pairs, config)
+        result = mem.access(
+            "tile",
+            key=("plist", index),
+            distinct_lines=lines,
+            total_accesses=dcw.prim_tile_pairs,
+            phase="tiling",
+            write=True,
+        )
+        if result.l1_misses:
+            # Writes drain through the triangle/tile queues; only the
+            # back-pressure of the misses is exposed.
+            stall += memory_stall_cycles(
+                result.l1_misses, result.latency_cycles, config.tile_queue
+            )
+
+    # One polygon-list entry per cycle, plus per-primitive tile-overlap
+    # tests for every binned primitive.
+    cycles = float(entries + work.primitives_binned) + stall
+    return TilingResult(cycles=cycles, stall_cycles=stall, list_entries=entries)

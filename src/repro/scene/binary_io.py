@@ -1,0 +1,240 @@
+"""Compact binary trace serialization (NumPy ``.npz``).
+
+JSON (:meth:`WorkloadTrace.save`) is convenient for inspection but slow
+and bulky for multi-thousand-frame traces.  This module packs a trace into
+flat NumPy arrays — one row per draw call across the whole sequence, with
+per-frame offsets — giving order-of-magnitude smaller files and load
+times, while staying perfectly round-trippable.
+
+Layout (all arrays in one ``.npz`` archive):
+
+* shader tables: per-kind arrays of ALU counts plus flattened texture
+  sample (slot, filter) pairs with per-shader offsets;
+* mesh/texture tables: one array per column;
+* frames: camera columns per frame, then the draw-call soup — numeric
+  columns of length total-draw-calls plus ``frame_offsets`` delimiting
+  each frame's slice, and the bound texture ids flattened the same way.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.scene.draw import DrawCall
+from repro.scene.frame import Camera, Frame
+from repro.scene.mesh import Mesh, Texture
+from repro.scene.shader import FilterMode, ShaderKind, ShaderProgram, TextureSample
+from repro.scene.trace import WorkloadTrace
+from repro.scene.vectors import Vec3
+
+_FORMAT_VERSION = 1
+
+
+def _pack_shaders(shaders: tuple[ShaderProgram, ...], prefix: str) -> dict:
+    alu = np.array([s.alu_instructions for s in shaders], dtype=np.int64)
+    names = np.array([s.name for s in shaders], dtype=np.str_)
+    slots, filters, offsets = [], [], [0]
+    for shader in shaders:
+        for sample in shader.texture_samples:
+            slots.append(sample.texture_slot)
+            filters.append(sample.filter_mode.value)
+        offsets.append(len(slots))
+    return {
+        f"{prefix}_alu": alu,
+        f"{prefix}_names": names,
+        f"{prefix}_sample_slots": np.array(slots, dtype=np.int64),
+        f"{prefix}_sample_filters": np.array(filters, dtype=np.int64),
+        f"{prefix}_sample_offsets": np.array(offsets, dtype=np.int64),
+    }
+
+
+def _unpack_shaders(data: dict, prefix: str, kind: ShaderKind) -> tuple[ShaderProgram, ...]:
+    alu = data[f"{prefix}_alu"]
+    names = data[f"{prefix}_names"]
+    slots = data[f"{prefix}_sample_slots"]
+    filters = data[f"{prefix}_sample_filters"]
+    offsets = data[f"{prefix}_sample_offsets"]
+    shaders = []
+    for index in range(alu.shape[0]):
+        start, stop = int(offsets[index]), int(offsets[index + 1])
+        samples = tuple(
+            TextureSample(
+                texture_slot=int(slots[i]),
+                filter_mode=FilterMode(int(filters[i])),
+            )
+            for i in range(start, stop)
+        )
+        shaders.append(
+            ShaderProgram(
+                shader_id=index,
+                kind=kind,
+                alu_instructions=int(alu[index]),
+                texture_samples=samples,
+                name=str(names[index]),
+            )
+        )
+    return tuple(shaders)
+
+
+def save_trace_npz(trace: WorkloadTrace, path: str | Path) -> None:
+    """Write ``trace`` to ``path`` as a compressed ``.npz`` archive."""
+    arrays: dict[str, np.ndarray] = {
+        "format_version": np.array([_FORMAT_VERSION], dtype=np.int64),
+        "name": np.array([trace.name], dtype=np.str_),
+    }
+    arrays.update(_pack_shaders(trace.vertex_shaders, "vs"))
+    arrays.update(_pack_shaders(trace.fragment_shaders, "fs"))
+
+    arrays["mesh_cols"] = np.array(
+        [
+            (m.vertex_count, m.primitive_count, m.vertex_stride_bytes,
+             m.base_address, int(m.closed_surface))
+            for m in trace.meshes
+        ],
+        dtype=np.int64,
+    ).reshape(len(trace.meshes), 5)
+    arrays["mesh_radius"] = np.array(
+        [m.bounding_radius for m in trace.meshes], dtype=np.float64
+    )
+    arrays["texture_cols"] = np.array(
+        [
+            (t.width, t.height, t.texel_bytes, t.base_address)
+            for t in trace.textures
+        ],
+        dtype=np.int64,
+    ).reshape(len(trace.textures), 4)
+
+    # Cameras, one row per frame.
+    arrays["camera_cols"] = np.array(
+        [
+            (f.camera.position.x, f.camera.position.y, f.camera.position.z,
+             f.camera.fov_y_degrees, float(f.camera.orthographic),
+             f.camera.ortho_height, f.camera.near)
+            for f in trace.frames
+        ],
+        dtype=np.float64,
+    ).reshape(trace.frame_count, 7)
+
+    # Draw-call soup.
+    int_rows, float_rows, tex_flat, tex_offsets = [], [], [], [0]
+    frame_offsets = [0]
+    for frame in trace.frames:
+        for dc in frame.draw_calls:
+            int_rows.append((
+                dc.mesh.mesh_id, dc.vertex_shader.shader_id,
+                dc.fragment_shader.shader_id, dc.instance_count,
+                int(dc.opaque), dc.depth_layer,
+            ))
+            float_rows.append((
+                dc.position.x, dc.position.y, dc.position.z,
+                dc.scale, dc.overdraw,
+            ))
+            tex_flat.extend(dc.texture_ids)
+            tex_offsets.append(len(tex_flat))
+        frame_offsets.append(len(int_rows))
+    arrays["dc_int"] = np.array(int_rows, dtype=np.int64).reshape(len(int_rows), 6)
+    arrays["dc_float"] = np.array(float_rows, dtype=np.float64).reshape(
+        len(float_rows), 5
+    )
+    arrays["dc_textures"] = np.array(tex_flat, dtype=np.int64)
+    arrays["dc_texture_offsets"] = np.array(tex_offsets, dtype=np.int64)
+    arrays["frame_offsets"] = np.array(frame_offsets, dtype=np.int64)
+
+    with open(path, "wb") as stream:
+        np.savez_compressed(stream, **arrays)
+
+
+def load_trace_npz(path: str | Path) -> WorkloadTrace:
+    """Read a trace previously written by :func:`save_trace_npz`."""
+    try:
+        data = dict(np.load(path, allow_pickle=False))
+    except (OSError, ValueError) as exc:
+        raise TraceError(f"cannot read trace archive {path}: {exc}") from exc
+    version = int(data.get("format_version", [0])[0])
+    if version != _FORMAT_VERSION:
+        raise TraceError(
+            f"unsupported trace format version {version} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+
+    vertex_shaders = _unpack_shaders(data, "vs", ShaderKind.VERTEX)
+    fragment_shaders = _unpack_shaders(data, "fs", ShaderKind.FRAGMENT)
+
+    mesh_cols = data["mesh_cols"]
+    mesh_radius = data["mesh_radius"]
+    meshes = tuple(
+        Mesh(
+            mesh_id=index,
+            vertex_count=int(row[0]),
+            primitive_count=int(row[1]),
+            vertex_stride_bytes=int(row[2]),
+            bounding_radius=float(mesh_radius[index]),
+            base_address=int(row[3]),
+            closed_surface=bool(row[4]),
+        )
+        for index, row in enumerate(mesh_cols)
+    )
+    textures = tuple(
+        Texture(
+            texture_id=index,
+            width=int(row[0]),
+            height=int(row[1]),
+            texel_bytes=int(row[2]),
+            base_address=int(row[3]),
+        )
+        for index, row in enumerate(data["texture_cols"])
+    )
+
+    camera_cols = data["camera_cols"]
+    dc_int = data["dc_int"]
+    dc_float = data["dc_float"]
+    dc_textures = data["dc_textures"]
+    tex_offsets = data["dc_texture_offsets"]
+    frame_offsets = data["frame_offsets"]
+
+    frames = []
+    for frame_id in range(camera_cols.shape[0]):
+        cam = camera_cols[frame_id]
+        camera = Camera(
+            position=Vec3(float(cam[0]), float(cam[1]), float(cam[2])),
+            fov_y_degrees=float(cam[3]),
+            orthographic=bool(cam[4]),
+            ortho_height=float(cam[5]),
+            near=float(cam[6]),
+        )
+        start, stop = int(frame_offsets[frame_id]), int(frame_offsets[frame_id + 1])
+        draw_calls = []
+        for row in range(start, stop):
+            ints = dc_int[row]
+            floats = dc_float[row]
+            t0, t1 = int(tex_offsets[row]), int(tex_offsets[row + 1])
+            draw_calls.append(
+                DrawCall(
+                    mesh=meshes[int(ints[0])],
+                    vertex_shader=vertex_shaders[int(ints[1])],
+                    fragment_shader=fragment_shaders[int(ints[2])],
+                    texture_ids=tuple(int(t) for t in dc_textures[t0:t1]),
+                    position=Vec3(float(floats[0]), float(floats[1]),
+                                  float(floats[2])),
+                    scale=float(floats[3]),
+                    instance_count=int(ints[3]),
+                    overdraw=float(floats[4]),
+                    opaque=bool(ints[4]),
+                    depth_layer=int(ints[5]),
+                )
+            )
+        frames.append(
+            Frame(frame_id=frame_id, camera=camera, draw_calls=tuple(draw_calls))
+        )
+
+    return WorkloadTrace(
+        name=str(data["name"][0]),
+        vertex_shaders=vertex_shaders,
+        fragment_shaders=fragment_shaders,
+        meshes=meshes,
+        textures=textures,
+        frames=tuple(frames),
+    )

@@ -1,0 +1,94 @@
+"""Draw call descriptors.
+
+A draw call binds a mesh, a vertex shader, a fragment shader and a set of
+textures, places the mesh in the world and submits it to the pipeline.  The
+sequence of draw calls in a frame is the unit of work the simulators iterate
+over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TraceError
+from repro.scene.mesh import Mesh
+from repro.scene.shader import ShaderKind, ShaderProgram
+from repro.scene.vectors import Vec3
+
+
+@dataclass(frozen=True, slots=True)
+class DrawCall:
+    """One draw call inside a frame.
+
+    Attributes:
+        mesh: the geometry to draw.
+        vertex_shader: program run once per vertex.
+        fragment_shader: program run once per visible fragment.
+        texture_ids: textures bound to the fragment shader's sampler slots;
+            ``texture_ids[i]`` backs ``texture_slot == i``.
+        position: world-space position of the mesh's bounding sphere center.
+        scale: uniform scale applied to the mesh.
+        instance_count: number of instances submitted with this call.
+        overdraw: average number of fragment layers this call contributes on
+            the pixels it covers before depth testing (>= 1).  Captures the
+            *overdraw* effect described in Section II-A.
+        opaque: opaque geometry is depth-tested and may be early-Z culled;
+            transparent geometry always reaches blending.
+        depth_layer: coarse front-to-back ordering key; smaller values are
+            closer to the camera.  Used by the early-Z model to estimate how
+            many fragments of this call are occluded by earlier layers.
+    """
+
+    mesh: Mesh
+    vertex_shader: ShaderProgram
+    fragment_shader: ShaderProgram
+    texture_ids: tuple[int, ...] = field(default_factory=tuple)
+    position: Vec3 = field(default_factory=Vec3.zero)
+    scale: float = 1.0
+    instance_count: int = 1
+    overdraw: float = 1.0
+    opaque: bool = True
+    depth_layer: int = 0
+
+    def __post_init__(self) -> None:
+        if self.vertex_shader.kind is not ShaderKind.VERTEX:
+            raise TraceError(
+                f"vertex_shader must have kind VERTEX, got {self.vertex_shader.kind}"
+            )
+        if self.fragment_shader.kind is not ShaderKind.FRAGMENT:
+            raise TraceError(
+                "fragment_shader must have kind FRAGMENT, got "
+                f"{self.fragment_shader.kind}"
+            )
+        if self.scale <= 0:
+            raise TraceError(f"scale must be > 0, got {self.scale}")
+        if self.instance_count < 1:
+            raise TraceError(
+                f"instance_count must be >= 1, got {self.instance_count}"
+            )
+        if self.overdraw < 1.0:
+            raise TraceError(f"overdraw must be >= 1, got {self.overdraw}")
+        max_slot = max(
+            (s.texture_slot for s in self.fragment_shader.texture_samples),
+            default=-1,
+        )
+        if max_slot >= len(self.texture_ids):
+            raise TraceError(
+                f"fragment shader samples texture slot {max_slot} but only "
+                f"{len(self.texture_ids)} textures are bound"
+            )
+
+    @property
+    def submitted_vertices(self) -> int:
+        """Vertices sent down the geometry pipeline (all instances)."""
+        return self.mesh.vertex_count * self.instance_count
+
+    @property
+    def submitted_primitives(self) -> int:
+        """Primitives assembled by this call (all instances)."""
+        return self.mesh.primitive_count * self.instance_count
+
+    @property
+    def world_radius(self) -> float:
+        """World-space bounding sphere radius after scaling."""
+        return self.mesh.bounding_radius * self.scale

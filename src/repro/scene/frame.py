@@ -1,0 +1,115 @@
+"""Frames and cameras.
+
+The paper divides a graphics workload into *frames* — the natural interval
+unit for graphics, in contrast with SimPoint's fixed instruction intervals
+(Section I).  A :class:`Frame` is an ordered sequence of draw calls rendered
+with one camera.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import TraceError
+from repro.scene.draw import DrawCall
+from repro.scene.vectors import Vec3
+
+
+@dataclass(frozen=True, slots=True)
+class Camera:
+    """A perspective (3D) or orthographic (2D) camera.
+
+    Attributes:
+        position: world-space eye position.
+        fov_y_degrees: vertical field of view for perspective cameras.
+        orthographic: if ``True`` the camera is a 2D orthographic camera and
+            object footprints are independent of depth.
+        ortho_height: world-space height of the orthographic view volume.
+        near: near plane distance; geometry closer than this is clipped.
+    """
+
+    position: Vec3 = field(default_factory=Vec3.zero)
+    fov_y_degrees: float = 60.0
+    orthographic: bool = False
+    ortho_height: float = 10.0
+    near: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 1.0 <= self.fov_y_degrees <= 179.0:
+            raise TraceError(
+                f"fov_y_degrees must be in [1, 179], got {self.fov_y_degrees}"
+            )
+        if self.ortho_height <= 0:
+            raise TraceError(f"ortho_height must be > 0, got {self.ortho_height}")
+        if self.near <= 0:
+            raise TraceError(f"near must be > 0, got {self.near}")
+
+    def projected_radius_fraction(self, center: Vec3, radius: float) -> float:
+        """Project a bounding sphere and return its screen radius.
+
+        The radius is expressed as a fraction of the screen *height* (so a
+        value of 0.5 means the sphere's silhouette spans the whole vertical
+        extent of the screen).  Returns 0.0 when the sphere is entirely
+        behind the near plane.
+        """
+        footprint = self.project(center, radius, aspect=1.0)
+        return 0.0 if footprint is None else footprint[2]
+
+    def project(
+        self, center: Vec3, radius: float, aspect: float
+    ) -> tuple[float, float, float] | None:
+        """Project a bounding sphere into screen space.
+
+        The camera looks down the -Z axis.  Returns ``(cx, cy, r)`` where
+        ``cx``/``cy`` are the sphere center in screen fractions (0..1 maps
+        onto the screen; values outside mean partially/fully off-screen)
+        and ``r`` is the silhouette radius as a fraction of screen height.
+        Returns ``None`` when the sphere lies entirely behind the near
+        plane (fully clipped).
+
+        Args:
+            center: world-space sphere center.
+            radius: world-space sphere radius (> 0).
+            aspect: screen width / height, needed to place ``cx``.
+        """
+        if radius <= 0:
+            raise TraceError(f"radius must be > 0, got {radius}")
+        if aspect <= 0:
+            raise TraceError(f"aspect must be > 0, got {aspect}")
+        if self.orthographic:
+            width = self.ortho_height * aspect
+            cx = 0.5 + (center.x - self.position.x) / width
+            cy = 0.5 + (center.y - self.position.y) / self.ortho_height
+            return (cx, cy, radius / self.ortho_height)
+        depth = self.position.z - center.z
+        if depth + radius <= self.near:
+            return None
+        depth = max(depth, self.near)
+        focal = 1.0 / math.tan(math.radians(self.fov_y_degrees) / 2.0)
+        cx = 0.5 + (center.x - self.position.x) * focal / (2.0 * depth * aspect)
+        cy = 0.5 + (center.y - self.position.y) * focal / (2.0 * depth)
+        return (cx, cy, (radius / depth) * focal / 2.0)
+
+
+@dataclass(frozen=True, slots=True)
+class Frame:
+    """One rendered frame: an ordered sequence of draw calls and a camera."""
+
+    frame_id: int
+    camera: Camera
+    draw_calls: tuple[DrawCall, ...]
+
+    def __post_init__(self) -> None:
+        if self.frame_id < 0:
+            raise TraceError(f"frame_id must be >= 0, got {self.frame_id}")
+
+    @property
+    def total_primitives(self) -> int:
+        """Primitives submitted across all draw calls of the frame."""
+        return sum(dc.submitted_primitives for dc in self.draw_calls)
+
+    @property
+    def total_vertices(self) -> int:
+        """Vertices submitted across all draw calls of the frame."""
+        return sum(dc.submitted_vertices for dc in self.draw_calls)

@@ -1,0 +1,118 @@
+"""Mesh and texture resource descriptors.
+
+The simulators operate on *descriptors* rather than raw vertex arrays: a
+mesh records how many vertices and triangles it contains, how large its
+vertex records are and where its data lives in the simulated address space.
+This is all the information the timing model needs to generate the memory
+access streams a real renderer would produce, while keeping multi-thousand
+frame sequences tractable in pure Python (see DESIGN.md, "Granularity of the
+timing model").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TraceError
+
+
+@dataclass(frozen=True, slots=True)
+class Mesh:
+    """A static triangle mesh used by draw calls.
+
+    Attributes:
+        mesh_id: unique identifier within the trace.
+        vertex_count: number of unique vertices in the vertex buffer.
+        primitive_count: number of triangles.
+        vertex_stride_bytes: size of one vertex record (position, normal,
+            UVs...) in bytes.
+        bounding_radius: object-space bounding sphere radius, used by the
+            geometry pipeline to project a screen-space footprint.
+        base_address: byte address of the vertex buffer in the simulated
+            GPU address space.
+        closed_surface: ``True`` for solid 3D models (roughly half of the
+            triangles face away from the camera and are back-face culled);
+            ``False`` for 2D sprites/UI quads which are never backfacing.
+    """
+
+    mesh_id: int
+    vertex_count: int
+    primitive_count: int
+    vertex_stride_bytes: int
+    bounding_radius: float
+    base_address: int
+    closed_surface: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mesh_id < 0:
+            raise TraceError(f"mesh_id must be >= 0, got {self.mesh_id}")
+        if self.vertex_count < 3:
+            raise TraceError(
+                f"a mesh needs at least 3 vertices, got {self.vertex_count}"
+            )
+        if self.primitive_count < 1:
+            raise TraceError(
+                f"a mesh needs at least 1 primitive, got {self.primitive_count}"
+            )
+        if self.vertex_stride_bytes < 4:
+            raise TraceError(
+                f"vertex_stride_bytes must be >= 4, got {self.vertex_stride_bytes}"
+            )
+        if self.bounding_radius <= 0:
+            raise TraceError(
+                f"bounding_radius must be > 0, got {self.bounding_radius}"
+            )
+        if self.base_address < 0:
+            raise TraceError(f"base_address must be >= 0, got {self.base_address}")
+
+    @property
+    def vertex_buffer_bytes(self) -> int:
+        """Total size of the vertex buffer in bytes."""
+        return self.vertex_count * self.vertex_stride_bytes
+
+    @property
+    def vertex_reuse(self) -> float:
+        """Average number of triangles sharing one vertex (index reuse).
+
+        A well-stripped closed mesh references each vertex from roughly
+        ``3 * primitives / vertices`` triangle corners; the post-transform
+        vertex cache turns that reuse into hits.
+        """
+        return 3.0 * self.primitive_count / self.vertex_count
+
+
+@dataclass(frozen=True, slots=True)
+class Texture:
+    """A texture resource sampled by fragment shaders.
+
+    Attributes:
+        texture_id: unique identifier within the trace.
+        width: texel width (power of two in practice, not enforced).
+        height: texel height.
+        texel_bytes: bytes per texel (4 for RGBA8).
+        base_address: byte address of texel data in the simulated GPU
+            address space.
+    """
+
+    texture_id: int
+    width: int
+    height: int
+    texel_bytes: int
+    base_address: int
+
+    def __post_init__(self) -> None:
+        if self.texture_id < 0:
+            raise TraceError(f"texture_id must be >= 0, got {self.texture_id}")
+        if self.width < 1 or self.height < 1:
+            raise TraceError(
+                f"texture dimensions must be >= 1, got {self.width}x{self.height}"
+            )
+        if self.texel_bytes < 1:
+            raise TraceError(f"texel_bytes must be >= 1, got {self.texel_bytes}")
+        if self.base_address < 0:
+            raise TraceError(f"base_address must be >= 0, got {self.base_address}")
+
+    @property
+    def size_bytes(self) -> int:
+        """Total texel data size in bytes."""
+        return self.width * self.height * self.texel_bytes

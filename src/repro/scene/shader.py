@@ -1,0 +1,109 @@
+"""Shader program descriptors.
+
+A *shader* is a user program executed on the programmable stages of the
+graphics pipeline (Section II-A of the paper).  Vertex shaders run once per
+vertex in the Geometry Pipeline; fragment shaders run once per visible
+fragment in the Raster Pipeline.
+
+MEGsim characterises a shader by its instruction count, where texture
+sampling instructions are weighted by the number of memory accesses the
+filtering mode performs (Section III-B): linear filtering touches 2 texels,
+bilinear 4 and trilinear 8.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import TraceError
+
+
+class ShaderKind(enum.Enum):
+    """The pipeline stage a shader program targets."""
+
+    VERTEX = "vertex"
+    FRAGMENT = "fragment"
+
+
+class FilterMode(enum.Enum):
+    """Texture filtering mode of a sampling instruction.
+
+    The enum value is the *memory access weight* the paper assigns to the
+    mode: the number of texel fetches one sample performs.
+    """
+
+    NEAREST = 1
+    LINEAR = 2
+    BILINEAR = 4
+    TRILINEAR = 8
+
+    @property
+    def memory_accesses(self) -> int:
+        """Number of texel memory accesses one sample with this mode issues."""
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class TextureSample:
+    """A single texture sampling instruction inside a shader program."""
+
+    texture_slot: int
+    filter_mode: FilterMode
+
+    def __post_init__(self) -> None:
+        if self.texture_slot < 0:
+            raise TraceError(f"texture_slot must be >= 0, got {self.texture_slot}")
+
+
+@dataclass(frozen=True, slots=True)
+class ShaderProgram:
+    """A compiled shader program as seen by the simulators.
+
+    Attributes:
+        shader_id: index of this shader within its kind's shader table.
+        kind: whether this is a vertex or a fragment shader.
+        alu_instructions: number of non-texture (arithmetic, control,
+            interpolation...) instructions executed per invocation.
+        texture_samples: texture sampling instructions executed per
+            invocation, in program order.
+        name: optional human-readable label (e.g. ``"car_paint_fs"``).
+    """
+
+    shader_id: int
+    kind: ShaderKind
+    alu_instructions: int
+    texture_samples: tuple[TextureSample, ...] = field(default_factory=tuple)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.shader_id < 0:
+            raise TraceError(f"shader_id must be >= 0, got {self.shader_id}")
+        if self.alu_instructions < 1:
+            raise TraceError(
+                f"a shader must execute at least one instruction, got "
+                f"{self.alu_instructions}"
+            )
+        if self.kind is ShaderKind.VERTEX and self.texture_samples:
+            # The modelled Mali-450-class GPU has no vertex texture fetch.
+            raise TraceError("vertex shaders cannot contain texture samples")
+
+    @property
+    def instruction_count(self) -> int:
+        """Total instructions executed per invocation (texture ops count as 1)."""
+        return self.alu_instructions + len(self.texture_samples)
+
+    @property
+    def texture_memory_accesses(self) -> int:
+        """Texel memory accesses per invocation, summed over samples."""
+        return sum(s.filter_mode.memory_accesses for s in self.texture_samples)
+
+    @property
+    def weighted_instruction_count(self) -> int:
+        """Instruction count with texture samples weighted per Section III-B.
+
+        Each texture sample contributes its filtering mode's memory access
+        count (2/4/8 for linear/bilinear/trilinear) instead of 1; this is the
+        per-invocation weight used when building VSCV/FSCV feature vectors.
+        """
+        return self.alu_instructions + self.texture_memory_accesses

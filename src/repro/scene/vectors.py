@@ -1,0 +1,78 @@
+"""Minimal 3D vector math used by the geometry pipeline.
+
+The simulators only need enough linear algebra to project object bounding
+spheres into screen space, so this module provides a small immutable
+:class:`Vec3` rather than pulling in a full matrix library.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Vec3:
+    """An immutable 3-component vector of floats."""
+
+    x: float
+    y: float
+    z: float
+
+    def __add__(self, other: "Vec3") -> "Vec3":
+        return Vec3(self.x + other.x, self.y + other.y, self.z + other.z)
+
+    def __sub__(self, other: "Vec3") -> "Vec3":
+        return Vec3(self.x - other.x, self.y - other.y, self.z - other.z)
+
+    def __mul__(self, scalar: float) -> "Vec3":
+        return Vec3(self.x * scalar, self.y * scalar, self.z * scalar)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Vec3":
+        return Vec3(-self.x, -self.y, -self.z)
+
+    def dot(self, other: "Vec3") -> float:
+        """Return the scalar (dot) product with ``other``."""
+        return self.x * other.x + self.y * other.y + self.z * other.z
+
+    def cross(self, other: "Vec3") -> "Vec3":
+        """Return the vector (cross) product with ``other``."""
+        return Vec3(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+
+    def length(self) -> float:
+        """Return the Euclidean norm."""
+        return math.sqrt(self.dot(self))
+
+    def distance_to(self, other: "Vec3") -> float:
+        """Return the Euclidean distance to ``other``."""
+        return (self - other).length()
+
+    def normalized(self) -> "Vec3":
+        """Return a unit-length copy.
+
+        Raises:
+            ZeroDivisionError: if the vector has zero length.
+        """
+        norm = self.length()
+        if norm == 0.0:
+            raise ZeroDivisionError("cannot normalize a zero-length vector")
+        return Vec3(self.x / norm, self.y / norm, self.z / norm)
+
+    def lerp(self, other: "Vec3", t: float) -> "Vec3":
+        """Linearly interpolate between ``self`` (t=0) and ``other`` (t=1)."""
+        return self + (other - self) * t
+
+    def as_tuple(self) -> tuple[float, float, float]:
+        """Return the components as a plain tuple (useful for serialization)."""
+        return (self.x, self.y, self.z)
+
+    @staticmethod
+    def zero() -> "Vec3":
+        """Return the zero vector."""
+        return Vec3(0.0, 0.0, 0.0)

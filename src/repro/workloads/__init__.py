@@ -1,0 +1,39 @@
+"""Synthetic game workload generation.
+
+The paper evaluates MEGsim on OpenGL traces captured from eight commercial
+Android games (Table II).  Those traces are proprietary, so this package
+generates *synthetic* traces with the properties MEGsim actually depends on
+(see DESIGN.md, "Substitutions"):
+
+* the Table II shape of each benchmark — frame count, vertex/fragment
+  shader table sizes, 2D vs 3D complexity;
+* gameplay *phase structure*: a sequence is a script of recurring segment
+  archetypes (menus, gameplay loops, transitions), each with a stable
+  draw-call signature, smooth within-segment evolution and small
+  frame-to-frame noise — the repetitive structure visible in the paper's
+  Figure 5 similarity matrix;
+* per-frame activity magnitudes that put the cycle-accurate simulator in
+  the Table II ballpark.
+
+Everything is seeded and deterministic.
+"""
+
+from repro.workloads.specs import GameSpec, PhaseSpec, ScriptEntry
+from repro.workloads.generator import GameWorkloadGenerator
+from repro.workloads.benchmarks import (
+    BENCHMARKS,
+    benchmark_aliases,
+    benchmark_spec,
+    make_benchmark,
+)
+
+__all__ = [
+    "GameSpec",
+    "PhaseSpec",
+    "ScriptEntry",
+    "GameWorkloadGenerator",
+    "BENCHMARKS",
+    "benchmark_aliases",
+    "benchmark_spec",
+    "make_benchmark",
+]

@@ -1,0 +1,364 @@
+"""The eight Table II benchmarks.
+
+Each spec mirrors its game's Table II row — frame count, vertex/fragment
+shader table sizes, 2D/3D type — and scripts a plausible captured gameplay
+sequence for that genre: recurring gameplay archetypes interleaved with
+menus and transitions.  The complexity knobs are calibrated so the
+cycle-accurate simulator lands in the Table II cycles/IPC ballpark (see
+EXPERIMENTS.md for measured values).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.scene.trace import WorkloadTrace
+from repro.workloads.generator import GameWorkloadGenerator
+from repro.workloads.specs import GameSpec, PhaseSpec, ScriptEntry
+
+
+def _script(*entries: tuple[str, int]) -> tuple[ScriptEntry, ...]:
+    return tuple(ScriptEntry(phase, frames) for phase, frames in entries)
+
+
+def _asp() -> GameSpec:
+    """Asphalt 9: Legends — heavyweight 3D arcade racer."""
+    phases = (
+        PhaseSpec("menu", draw_calls=14, object_scale=1.6, overdraw=1.9,
+                  motion=0.1, transparent_fraction=0.5, shader_groups=(0,),
+                  camera_distance=8.0, drift=0.05),
+        PhaseSpec("race_straight", draw_calls=58, object_scale=1.35,
+                  overdraw=2.3, motion=0.8, instancing=1.7,
+                  camera_distance=22.0, shader_groups=(1, 2), drift=0.18),
+        PhaseSpec("race_curve", draw_calls=66, object_scale=1.5,
+                  overdraw=2.5, motion=0.9, instancing=1.9,
+                  camera_distance=18.0, shader_groups=(1, 3), drift=0.2),
+        PhaseSpec("nitro", draw_calls=52, object_scale=1.7, overdraw=2.9,
+                  motion=1.0, instancing=1.5, camera_distance=15.0,
+                  transparent_fraction=0.45, shader_groups=(2, 3), drift=0.25),
+        PhaseSpec("crash", draw_calls=44, object_scale=1.8, overdraw=2.6,
+                  motion=0.6, camera_distance=12.0,
+                  transparent_fraction=0.5, shader_groups=(3,), drift=0.1),
+    )
+    script = _script(
+        ("menu", 260),
+        ("race_straight", 420), ("race_curve", 260), ("nitro", 140),
+        ("race_straight", 380), ("race_curve", 300), ("crash", 120),
+        ("race_straight", 360), ("nitro", 160), ("race_curve", 280),
+        ("race_straight", 400), ("crash", 100),
+        ("race_curve", 240), ("nitro", 180), ("race_straight", 300),
+        ("menu", 100),
+    )
+    return GameSpec(
+        alias="asp", title="Asphalt 9: Legends", description="Racing",
+        game_type="3D", downloads_millions="50-100", frames=4000,
+        vertex_shader_count=42, fragment_shader_count=45,
+        phases=phases, script=script, seed=90001,
+        mesh_pool=70, texture_pool=40, mesh_vertices=1300,
+        fragment_alu=34, vertex_alu=60, texture_samples=1.9,
+        footprint_scale=1.32,
+    )
+
+
+def _bbr(alias: str, frames: int, vs_count: int, fs_count: int, seed: int,
+         script: tuple[ScriptEntry, ...], footprint: float) -> GameSpec:
+    """Beach Buggy Racing — mid-weight 3D kart racer (two sequences)."""
+    phases = (
+        PhaseSpec("menu", draw_calls=12, object_scale=1.5, overdraw=1.8,
+                  motion=0.1, transparent_fraction=0.5, shader_groups=(0,),
+                  camera_distance=8.0, drift=0.05),
+        PhaseSpec("beach", draw_calls=46, object_scale=1.25, overdraw=2.1,
+                  motion=0.8, instancing=1.5, camera_distance=22.0,
+                  shader_groups=(1, 2), drift=0.18),
+        PhaseSpec("jungle", draw_calls=54, object_scale=1.35, overdraw=2.3,
+                  motion=0.85, instancing=1.8, camera_distance=18.0,
+                  shader_groups=(1, 3), drift=0.2),
+        PhaseSpec("powerup", draw_calls=44, object_scale=1.5, overdraw=2.6,
+                  motion=1.0, camera_distance=14.0,
+                  transparent_fraction=0.45, shader_groups=(2, 3), drift=0.22),
+        PhaseSpec("podium", draw_calls=20, object_scale=1.7, overdraw=2.0,
+                  motion=0.3, camera_distance=10.0,
+                  transparent_fraction=0.35, shader_groups=(0, 3), drift=0.08),
+        PhaseSpec("cave", draw_calls=50, object_scale=1.3, overdraw=2.4,
+                  motion=0.9, instancing=1.6, camera_distance=15.0,
+                  shader_groups=(0, 2), drift=0.2),
+    )
+    return GameSpec(
+        alias=alias, title="Beach Buggy Racing", description="Racing",
+        game_type="3D", downloads_millions="100-500", frames=frames,
+        vertex_shader_count=vs_count, fragment_shader_count=fs_count,
+        phases=phases, script=script, seed=seed,
+        mesh_pool=60, texture_pool=32, mesh_vertices=1050,
+        fragment_alu=27, vertex_alu=52, texture_samples=1.7,
+        footprint_scale=footprint,
+    )
+
+
+def _bbr1() -> GameSpec:
+    script = _script(
+        ("menu", 200),
+        ("beach", 380), ("powerup", 120), ("beach", 300),
+        ("jungle", 340), ("powerup", 140), ("jungle", 280),
+        ("beach", 320), ("powerup", 120),
+        ("podium", 160), ("menu", 140),
+    )
+    return _bbr("bbr1", 2500, 73, 62, 90002, script, footprint=1.10)
+
+
+def _bbr2() -> GameSpec:
+    script = _script(
+        ("menu", 220),
+        ("jungle", 400), ("powerup", 150), ("cave", 300),
+        ("beach", 380), ("powerup", 140), ("jungle", 320),
+        ("cave", 280), ("powerup", 160), ("beach", 340),
+        ("jungle", 300), ("podium", 180),
+        ("beach", 320), ("cave", 260), ("menu", 250),
+    )
+    return _bbr("bbr2", 4000, 66, 59, 90003, script, footprint=0.89)
+
+
+def _hcr() -> GameSpec:
+    """Hill Climb Racing — lightweight 2D physics platformer."""
+    phases = (
+        PhaseSpec("menu", draw_calls=8, object_scale=1.4, overdraw=1.9,
+                  motion=0.1, transparent_fraction=0.55, shader_groups=(0,),
+                  drift=0.05),
+        PhaseSpec("countryside", draw_calls=13, object_scale=1.2,
+                  overdraw=2.2, motion=0.7, instancing=1.4,
+                  transparent_fraction=0.4, shader_groups=(1,), drift=0.15),
+        PhaseSpec("cave", draw_calls=15, object_scale=1.3, overdraw=2.5,
+                  motion=0.65, instancing=1.5,
+                  transparent_fraction=0.45, shader_groups=(1, 2), drift=0.18),
+        PhaseSpec("gameover", draw_calls=10, object_scale=1.5, overdraw=2.1,
+                  motion=0.25, transparent_fraction=0.6,
+                  shader_groups=(0, 2), drift=0.06),
+    )
+    script = _script(
+        ("menu", 160),
+        ("countryside", 420), ("gameover", 80),
+        ("countryside", 340), ("cave", 380), ("gameover", 80),
+        ("cave", 300), ("menu", 120), ("countryside", 120),
+    )
+    return GameSpec(
+        alias="hcr", title="Hill Climb Racing", description="Platforms",
+        game_type="2D", downloads_millions="500-1000", frames=2000,
+        vertex_shader_count=5, fragment_shader_count=5,
+        phases=phases, script=script, seed=90004,
+        mesh_pool=18, texture_pool=14, shader_group_count=3,
+        fragment_alu=11, vertex_alu=18, texture_samples=1.2,
+        footprint_scale=0.54,
+    )
+
+
+def _hwh() -> GameSpec:
+    """Hot Wheels — 3D stunt racer with simple models."""
+    phases = (
+        PhaseSpec("menu", draw_calls=12, object_scale=1.5, overdraw=1.8,
+                  motion=0.1, transparent_fraction=0.5, shader_groups=(0,),
+                  camera_distance=8.0, drift=0.05),
+        PhaseSpec("track", draw_calls=48, object_scale=1.3, overdraw=2.2,
+                  motion=0.85, instancing=1.6, camera_distance=20.0,
+                  shader_groups=(1, 2), drift=0.18),
+        PhaseSpec("loop", draw_calls=54, object_scale=1.45, overdraw=2.5,
+                  motion=1.0, instancing=1.5, camera_distance=15.0,
+                  shader_groups=(2, 3), drift=0.22),
+        PhaseSpec("jump", draw_calls=40, object_scale=1.2, overdraw=2.0,
+                  motion=0.9, camera_distance=26.0,
+                  transparent_fraction=0.3, shader_groups=(1, 3), drift=0.15),
+        PhaseSpec("tunnel", draw_calls=50, object_scale=1.4, overdraw=2.4,
+                  motion=0.9, instancing=1.5, camera_distance=14.0,
+                  shader_groups=(0, 2), drift=0.16),
+        PhaseSpec("boost", draw_calls=44, object_scale=1.5, overdraw=2.6,
+                  motion=1.0, camera_distance=13.0,
+                  transparent_fraction=0.4, shader_groups=(0, 3), drift=0.18),
+    )
+    script = _script(
+        ("menu", 220),
+        ("track", 420), ("loop", 200), ("tunnel", 260), ("jump", 180),
+        ("track", 380), ("boost", 180), ("loop", 220),
+        ("track", 360), ("tunnel", 240), ("jump", 160),
+        ("menu", 160), ("track", 320), ("boost", 200),
+        ("loop", 180), ("track", 320),
+    )
+    return GameSpec(
+        alias="hwh", title="Hot Wheels", description="Racing",
+        game_type="3D", downloads_millions="50-100", frames=4000,
+        vertex_shader_count=30, fragment_shader_count=30,
+        phases=phases, script=script, seed=90005,
+        mesh_pool=45, texture_pool=26, mesh_vertices=800,
+        fragment_alu=30, vertex_alu=48, texture_samples=1.6,
+        footprint_scale=1.56,
+    )
+
+
+def _jjo() -> GameSpec:
+    """Jetpack Joyride — 2D side-scrolling endless runner."""
+    phases = (
+        PhaseSpec("menu", draw_calls=9, object_scale=1.4, overdraw=2.0,
+                  motion=0.1, transparent_fraction=0.55, shader_groups=(0,),
+                  drift=0.05),
+        PhaseSpec("lab", draw_calls=16, object_scale=1.25, overdraw=2.4,
+                  motion=0.8, instancing=1.6, transparent_fraction=0.45,
+                  shader_groups=(1,), drift=0.16),
+        PhaseSpec("missiles", draw_calls=20, object_scale=1.35, overdraw=2.7,
+                  motion=1.0, instancing=2.0, transparent_fraction=0.5,
+                  shader_groups=(1, 2), drift=0.22),
+        PhaseSpec("vehicle", draw_calls=14, object_scale=1.6, overdraw=2.5,
+                  motion=0.7, instancing=1.3, transparent_fraction=0.4,
+                  shader_groups=(2,), drift=0.12),
+        PhaseSpec("gameover", draw_calls=10, object_scale=1.5, overdraw=2.1,
+                  motion=0.2, transparent_fraction=0.6, shader_groups=(0, 2),
+                  drift=0.06),
+        PhaseSpec("tunnel_zone", draw_calls=18, object_scale=1.3,
+                  overdraw=2.6, motion=0.9, instancing=1.8,
+                  transparent_fraction=0.45, shader_groups=(0, 1),
+                  drift=0.2),
+    )
+    script = _script(
+        ("menu", 220),
+        ("lab", 430), ("missiles", 260), ("tunnel_zone", 300),
+        ("vehicle", 280), ("lab", 410), ("missiles", 280),
+        ("gameover", 120), ("menu", 140), ("lab", 390),
+        ("tunnel_zone", 280), ("vehicle", 300), ("missiles", 260),
+        ("lab", 370), ("gameover", 140), ("menu", 160),
+        ("lab", 400), ("tunnel_zone", 260),
+    )
+    return GameSpec(
+        alias="jjo", title="Jetpack Joyride",
+        description="Side-scrolling endless runner",
+        game_type="2D", downloads_millions="100-500", frames=5000,
+        vertex_shader_count=4, fragment_shader_count=5,
+        phases=phases, script=script, seed=90006,
+        mesh_pool=20, texture_pool=16, shader_group_count=3,
+        fragment_alu=13, vertex_alu=18, texture_samples=1.3,
+        footprint_scale=0.565,
+    )
+
+
+def _pvz() -> GameSpec:
+    """Plants vs Zombies — 2D tower defense with heavy sprite instancing."""
+    phases = (
+        PhaseSpec("menu", draw_calls=9, object_scale=1.4, overdraw=2.0,
+                  motion=0.1, transparent_fraction=0.55, shader_groups=(0,),
+                  drift=0.05),
+        PhaseSpec("planting", draw_calls=18, object_scale=1.15, overdraw=2.2,
+                  motion=0.4, instancing=2.2, transparent_fraction=0.4,
+                  shader_groups=(1,), drift=0.12),
+        PhaseSpec("wave", draw_calls=24, object_scale=1.25, overdraw=2.6,
+                  motion=0.7, instancing=2.8, transparent_fraction=0.45,
+                  shader_groups=(1, 2), drift=0.25),
+        PhaseSpec("final_wave", draw_calls=28, object_scale=1.3, overdraw=2.9,
+                  motion=0.85, instancing=3.4, transparent_fraction=0.5,
+                  shader_groups=(2,), drift=0.3),
+        PhaseSpec("level_card", draw_calls=8, object_scale=1.6, overdraw=1.8,
+                  motion=0.15, transparent_fraction=0.6, shader_groups=(0, 2),
+                  drift=0.05),
+        PhaseSpec("night_wave", draw_calls=26, object_scale=1.2,
+                  overdraw=2.7, motion=0.75, instancing=3.0,
+                  transparent_fraction=0.5, shader_groups=(0, 1), drift=0.26),
+        PhaseSpec("pool", draw_calls=22, object_scale=1.25, overdraw=2.5,
+                  motion=0.55, instancing=2.4, transparent_fraction=0.55,
+                  shader_groups=(0, 2), drift=0.2),
+    )
+    script = _script(
+        ("menu", 220),
+        ("planting", 500), ("wave", 300), ("planting", 360),
+        ("night_wave", 280), ("final_wave", 220), ("level_card", 120),
+        ("planting", 440), ("pool", 300), ("wave", 320),
+        ("final_wave", 260), ("level_card", 140),
+        ("menu", 160), ("planting", 420), ("night_wave", 300),
+        ("pool", 280), ("wave", 380),
+    )
+    return GameSpec(
+        alias="pvz", title="Plants vs Zombies", description="Tower defense",
+        game_type="2D", downloads_millions="100-500", frames=5000,
+        vertex_shader_count=4, fragment_shader_count=5,
+        phases=phases, script=script, seed=90007,
+        mesh_pool=22, texture_pool=18, shader_group_count=3,
+        fragment_alu=12, vertex_alu=18, texture_samples=1.3,
+        footprint_scale=0.595,
+    )
+
+
+def _spd() -> GameSpec:
+    """Spider-Man Unlimited — 3D side-scrolling endless runner."""
+    phases = (
+        PhaseSpec("menu", draw_calls=12, object_scale=1.5, overdraw=1.9,
+                  motion=0.1, transparent_fraction=0.5, shader_groups=(0,),
+                  camera_distance=8.0, drift=0.05),
+        PhaseSpec("rooftop_run", draw_calls=44, object_scale=1.25,
+                  overdraw=2.2, motion=0.85, instancing=1.5,
+                  camera_distance=20.0, shader_groups=(1, 2), drift=0.18),
+        PhaseSpec("swing", draw_calls=50, object_scale=1.4, overdraw=2.4,
+                  motion=1.0, instancing=1.4, camera_distance=26.0,
+                  shader_groups=(1, 3), drift=0.2),
+        PhaseSpec("combat", draw_calls=38, object_scale=1.55, overdraw=2.6,
+                  motion=0.7, camera_distance=12.0,
+                  transparent_fraction=0.4, shader_groups=(2, 3), drift=0.15),
+        PhaseSpec("cutscene", draw_calls=22, object_scale=1.7, overdraw=2.0,
+                  motion=0.3, camera_distance=9.0,
+                  transparent_fraction=0.35, shader_groups=(0, 3), drift=0.08),
+        PhaseSpec("alley_run", draw_calls=46, object_scale=1.3,
+                  overdraw=2.3, motion=0.8, instancing=1.6,
+                  camera_distance=16.0, shader_groups=(0, 1), drift=0.14),
+        PhaseSpec("chase", draw_calls=48, object_scale=1.45, overdraw=2.5,
+                  motion=0.95, instancing=1.5, camera_distance=14.0,
+                  transparent_fraction=0.3, shader_groups=(0, 2), drift=0.16),
+    )
+    script = _script(
+        ("menu", 200),
+        ("rooftop_run", 420), ("swing", 260), ("alley_run", 320),
+        ("combat", 240), ("rooftop_run", 380), ("chase", 300),
+        ("cutscene", 160), ("alley_run", 300), ("swing", 280),
+        ("combat", 260), ("rooftop_run", 360), ("chase", 280),
+        ("cutscene", 160), ("menu", 140), ("alley_run", 320),
+        ("rooftop_run", 320), ("swing", 300),
+    )
+    return GameSpec(
+        alias="spd", title="Spider-Man Unlimited",
+        description="Side-scrolling endless runner",
+        game_type="3D", downloads_millions="1-5", frames=5000,
+        vertex_shader_count=16, fragment_shader_count=26,
+        phases=phases, script=script, seed=90008,
+        mesh_pool=50, texture_pool=30, mesh_vertices=950,
+        fragment_alu=27, vertex_alu=50, texture_samples=1.7,
+        footprint_scale=1.02,
+    )
+
+
+#: The Table II benchmark set, keyed by alias, in the paper's order.
+BENCHMARKS: dict[str, GameSpec] = {
+    spec.alias: spec
+    for spec in (
+        _asp(), _bbr1(), _bbr2(), _hcr(), _hwh(), _jjo(), _pvz(), _spd()
+    )
+}
+
+
+def benchmark_aliases() -> tuple[str, ...]:
+    """All benchmark aliases, in Table II order."""
+    return tuple(BENCHMARKS)
+
+
+def benchmark_spec(alias: str) -> GameSpec:
+    """Look up a benchmark spec by alias."""
+    try:
+        return BENCHMARKS[alias]
+    except KeyError as exc:
+        raise ConfigError(
+            f"unknown benchmark {alias!r}; available: {', '.join(BENCHMARKS)}"
+        ) from exc
+
+
+def make_benchmark(alias: str, scale: float = 1.0) -> WorkloadTrace:
+    """Generate a benchmark's trace.
+
+    Args:
+        alias: Table II alias (``asp``, ``bbr1``, ...).
+        scale: fraction of the full sequence length to generate (segment
+            durations are scaled, preserving the phase structure); 1.0 is
+            the paper's full frame count.
+    """
+    spec = benchmark_spec(alias)
+    if scale != 1.0:
+        spec = spec.scaled(scale)
+    return GameWorkloadGenerator(spec).generate()

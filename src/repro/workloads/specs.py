@@ -1,0 +1,186 @@
+"""Workload specifications: the parameters defining one synthetic game."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseSpec:
+    """One gameplay segment archetype (menu, race, boss fight...).
+
+    Frames inside a segment of this archetype share a draw-call signature;
+    the knobs below shape that signature.
+
+    Attributes:
+        name: archetype label (e.g. ``"race_curve"``).
+        draw_calls: average draw calls per frame.
+        object_scale: multiplier on projected object sizes (bigger objects
+            -> more fragments).
+        overdraw: mean per-call overdraw factor.
+        instancing: mean instance count of instanced calls.
+        motion: amplitude of within-segment animation (0 = static menu,
+            1 = fast gameplay); also controls frame-to-frame noise.
+        camera_distance: mean distance of objects from the camera, in
+            world units (3D archetypes).
+        transparent_fraction: fraction of draw calls that blend.
+        shader_groups: indices into the game's shader *theme groups*; the
+            archetype draws its shaders from these groups, giving distinct
+            archetypes distinct VSCV/FSCV signatures.
+        drift: slow within-segment intensity drift amplitude (a segment
+            whose load ramps, e.g. increasing enemy density).
+    """
+
+    name: str
+    draw_calls: int
+    object_scale: float = 1.0
+    overdraw: float = 1.6
+    instancing: float = 1.0
+    motion: float = 0.5
+    camera_distance: float = 20.0
+    transparent_fraction: float = 0.2
+    shader_groups: tuple[int, ...] = (0,)
+    drift: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.draw_calls < 1:
+            raise ConfigError(f"phase {self.name}: draw_calls must be >= 1")
+        if self.object_scale <= 0:
+            raise ConfigError(f"phase {self.name}: object_scale must be > 0")
+        if self.overdraw < 1.0:
+            raise ConfigError(f"phase {self.name}: overdraw must be >= 1")
+        if not 0.0 <= self.transparent_fraction <= 1.0:
+            raise ConfigError(
+                f"phase {self.name}: transparent_fraction must be in [0, 1]"
+            )
+        if not self.shader_groups:
+            raise ConfigError(f"phase {self.name}: needs at least one shader group")
+
+
+@dataclass(frozen=True, slots=True)
+class ScriptEntry:
+    """One segment of the gameplay script: an archetype and its duration."""
+
+    phase: str
+    frames: int
+
+    def __post_init__(self) -> None:
+        if self.frames < 1:
+            raise ConfigError(f"script entry {self.phase}: frames must be >= 1")
+
+
+@dataclass(frozen=True)
+class GameSpec:
+    """Everything needed to synthesise one benchmark trace.
+
+    The Table II columns (frames, shader table sizes, 2D/3D) appear
+    directly; the remaining knobs control scene complexity and are
+    calibrated so the cycle-accurate simulator lands in the Table II
+    cycles/IPC ballpark.
+    """
+
+    alias: str
+    title: str
+    description: str
+    game_type: str  # "2D" or "3D"
+    downloads_millions: str
+    frames: int
+    vertex_shader_count: int
+    fragment_shader_count: int
+    phases: tuple[PhaseSpec, ...]
+    script: tuple[ScriptEntry, ...]
+    seed: int
+
+    mesh_pool: int = 40
+    texture_pool: int = 24
+    shader_group_count: int = 4
+    # Mean vertices per mesh (3D meshes; 2D games use quads).
+    mesh_vertices: int = 600
+    # Mean ALU instructions per fragment shader.
+    fragment_alu: int = 18
+    # Mean ALU instructions per vertex shader.
+    vertex_alu: int = 14
+    # Mean texture samples per fragment shader.
+    texture_samples: float = 1.6
+    # Global multiplier on projected object sizes: the single calibration
+    # knob aligning each game's cycles/frame with its Table II row.
+    footprint_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.game_type not in ("2D", "3D"):
+            raise ConfigError(f"game_type must be '2D' or '3D', got {self.game_type}")
+        if self.frames < 1:
+            raise ConfigError("frames must be >= 1")
+        if self.vertex_shader_count < 1 or self.fragment_shader_count < 1:
+            raise ConfigError("shader table sizes must be >= 1")
+        if not self.phases:
+            raise ConfigError("a game needs at least one phase archetype")
+        if not self.script:
+            raise ConfigError("a game needs a non-empty script")
+        names = {p.name for p in self.phases}
+        if len(names) != len(self.phases):
+            raise ConfigError("phase archetype names must be unique")
+        for entry in self.script:
+            if entry.phase not in names:
+                raise ConfigError(f"script references unknown phase {entry.phase!r}")
+        total = sum(entry.frames for entry in self.script)
+        if total != self.frames:
+            raise ConfigError(
+                f"script covers {total} frames but the spec declares {self.frames}"
+            )
+        for phase in self.phases:
+            for group in phase.shader_groups:
+                if not 0 <= group < self.shader_group_count:
+                    raise ConfigError(
+                        f"phase {phase.name}: shader group {group} out of range"
+                    )
+
+    @property
+    def script_frames(self) -> int:
+        """Total frames the script covers."""
+        return sum(entry.frames for entry in self.script)
+
+    def phase_by_name(self, name: str) -> PhaseSpec:
+        """Look up an archetype by name."""
+        for phase in self.phases:
+            if phase.name == name:
+                return phase
+        raise ConfigError(f"unknown phase {name!r}")
+
+    def scaled(self, scale: float) -> "GameSpec":
+        """Return a copy with the script durations scaled by ``scale``.
+
+        Used by the benchmark harness to run reduced-length sequences that
+        preserve the phase structure.  Segment durations are scaled
+        individually (minimum 1 frame each).
+        """
+        if scale <= 0:
+            raise ConfigError(f"scale must be > 0, got {scale}")
+        script = tuple(
+            ScriptEntry(entry.phase, max(1, round(entry.frames * scale)))
+            for entry in self.script
+        )
+        total = sum(entry.frames for entry in script)
+        return GameSpec(
+            alias=self.alias,
+            title=self.title,
+            description=self.description,
+            game_type=self.game_type,
+            downloads_millions=self.downloads_millions,
+            frames=total,
+            vertex_shader_count=self.vertex_shader_count,
+            fragment_shader_count=self.fragment_shader_count,
+            phases=self.phases,
+            script=script,
+            seed=self.seed,
+            mesh_pool=self.mesh_pool,
+            texture_pool=self.texture_pool,
+            shader_group_count=self.shader_group_count,
+            mesh_vertices=self.mesh_vertices,
+            fragment_alu=self.fragment_alu,
+            vertex_alu=self.vertex_alu,
+            texture_samples=self.texture_samples,
+            footprint_scale=self.footprint_scale,
+        )

@@ -1,0 +1,92 @@
+"""Tests for PGM/PPM figure output."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.analysis.images import (
+    cluster_image,
+    similarity_image,
+    write_pgm,
+    write_ppm,
+)
+
+
+def read_header(path):
+    data = path.read_bytes()
+    magic, dims, maxval = data.split(b"\n", 3)[:3]
+    width, height = map(int, dims.split())
+    return magic, width, height, int(maxval), data
+
+
+class TestPGM:
+    def test_round_trippable(self, tmp_path):
+        gray = np.arange(12, dtype=np.uint8).reshape(3, 4)
+        path = tmp_path / "img.pgm"
+        write_pgm(gray, path)
+        magic, width, height, maxval, data = read_header(path)
+        assert magic == b"P5"
+        assert (width, height, maxval) == (4, 3, 255)
+        pixels = np.frombuffer(data.split(b"\n", 3)[3], dtype=np.uint8)
+        assert np.array_equal(pixels.reshape(3, 4), gray)
+
+    def test_rejects_bad_shape(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            write_pgm(np.zeros(5, dtype=np.uint8), tmp_path / "x.pgm")
+
+
+class TestPPM:
+    def test_header(self, tmp_path):
+        rgb = np.zeros((2, 5, 3), dtype=np.uint8)
+        path = tmp_path / "img.ppm"
+        write_ppm(rgb, path)
+        magic, width, height, maxval, _ = read_header(path)
+        assert magic == b"P6"
+        assert (width, height) == (5, 2)
+
+    def test_rejects_bad_shape(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            write_ppm(np.zeros((2, 5), dtype=np.uint8), tmp_path / "x.ppm")
+
+
+class TestSimilarityImage:
+    def test_similar_frames_darker(self, tmp_path):
+        distances = np.array([
+            [0.0, 1.0, 10.0],
+            [1.0, 0.0, 10.0],
+            [10.0, 10.0, 0.0],
+        ])
+        path = tmp_path / "sim.pgm"
+        similarity_image(distances, path)
+        _, _, _, _, data = read_header(path)
+        pixels = np.frombuffer(
+            data.split(b"\n", 3)[3], dtype=np.uint8
+        ).reshape(3, 3)
+        assert pixels[0, 0] == 0          # self-similarity: black
+        assert pixels[0, 1] < pixels[0, 2]  # closer pair is darker
+
+    def test_non_square_rejected(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            similarity_image(np.zeros((2, 3)), tmp_path / "x.pgm")
+
+
+class TestClusterImage:
+    def test_diagonal_gets_cluster_colors(self, tmp_path):
+        distances = np.full((10, 10), 5.0)
+        np.fill_diagonal(distances, 0.0)
+        labels = np.array([0] * 5 + [1] * 5)
+        path = tmp_path / "clusters.ppm"
+        cluster_image(distances, labels, path, band_fraction=0.2)
+        _, width, height, _, data = read_header(path)
+        pixels = np.frombuffer(
+            data.split(b"\n", 3)[3], dtype=np.uint8
+        ).reshape(height, width, 3)
+        # Diagonal pixels of the two halves carry different colors.
+        assert not np.array_equal(pixels[2, 2], pixels[7, 7])
+        # Off-diagonal pixels stay grayscale (r == g == b).
+        corner = pixels[0, 9]
+        assert corner[0] == corner[1] == corner[2]
+
+    def test_label_count_mismatch(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            cluster_image(np.zeros((4, 4)), np.zeros(3), tmp_path / "x.ppm")

@@ -1,0 +1,43 @@
+"""Tests for error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.analysis.metrics import percentile_abs_error, relative_error
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(110.0, 100.0) == pytest.approx(0.1)
+
+    def test_symmetric_in_sign(self):
+        assert relative_error(90.0, 100.0) == pytest.approx(0.1)
+
+    def test_exact(self):
+        assert relative_error(5.0, 5.0) == 0.0
+
+    def test_negative_truth(self):
+        assert relative_error(-90.0, -100.0) == pytest.approx(0.1)
+
+    def test_zero_truth_rejected(self):
+        with pytest.raises(AnalysisError):
+            relative_error(1.0, 0.0)
+
+
+class TestPercentile:
+    def test_discards_worst_five_percent(self):
+        errors = np.concatenate([np.full(95, 0.01), np.full(5, 10.0)])
+        assert percentile_abs_error(errors, 95.0) <= 0.02
+
+    def test_uses_absolute_values(self):
+        errors = np.array([-0.5, 0.1, -0.2])
+        assert percentile_abs_error(errors, 100.0) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            percentile_abs_error(np.array([]))
+
+    def test_bad_confidence(self):
+        with pytest.raises(AnalysisError):
+            percentile_abs_error(np.array([0.1]), confidence=0.0)

@@ -1,0 +1,97 @@
+"""Tests for the Table IV random sub-sampling study machinery."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.analysis.random_study import (
+    estimate_from_plan,
+    megsim_error_distribution,
+    random_error_at_k,
+    random_frames_for_error,
+)
+
+
+def phased_metric(n=300, seed=0) -> np.ndarray:
+    """A per-frame metric with three flat phases plus noise."""
+    rng = np.random.default_rng(seed)
+    levels = np.repeat([100.0, 300.0, 150.0], n // 3)
+    return levels + rng.normal(0, 5.0, size=levels.size)
+
+
+class TestEstimate:
+    def test_weighted_sum(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        reps = np.array([0, 3])
+        weights = np.array([2.0, 2.0])
+        assert estimate_from_plan(values, reps, weights) == pytest.approx(10.0)
+
+
+class TestRandomErrorAtK:
+    def test_k_equals_n_exact(self):
+        values = phased_metric()
+        rng = np.random.default_rng(0)
+        assert random_error_at_k(values, values.size, 50, rng) == pytest.approx(0.0)
+
+    def test_error_shrinks_with_k(self):
+        values = phased_metric()
+        rng = np.random.default_rng(0)
+        few = random_error_at_k(values, 2, 400, rng)
+        many = random_error_at_k(values, 100, 400, rng)
+        assert many < few
+
+    def test_invalid_k(self):
+        with pytest.raises(AnalysisError):
+            random_error_at_k(phased_metric(), 0, 10, np.random.default_rng(0))
+
+
+class TestRandomFramesForError:
+    def test_loose_target_needs_few_frames(self):
+        values = phased_metric()
+        assert random_frames_for_error(values, target_error=0.5, trials=200) <= 3
+
+    def test_tight_target_needs_many_frames(self):
+        values = phased_metric()
+        loose = random_frames_for_error(values, 0.05, trials=200)
+        tight = random_frames_for_error(values, 0.005, trials=200)
+        assert tight > loose
+
+    def test_found_k_meets_target(self):
+        values = phased_metric()
+        target = 0.02
+        k = random_frames_for_error(values, target, trials=300, seed=1)
+        check = random_error_at_k(values, k, 300, np.random.default_rng(99))
+        assert check <= target * 1.6  # fresh draws, allow sampling noise
+
+    def test_impossible_target_returns_n(self):
+        rng = np.random.default_rng(5)
+        values = rng.uniform(1.0, 100.0, size=50)
+        assert random_frames_for_error(values, 1e-12, trials=50) == 50
+
+    def test_bad_target(self):
+        with pytest.raises(AnalysisError):
+            random_frames_for_error(phased_metric(), 0.0)
+
+
+class TestMEGsimDistribution:
+    def test_distribution_over_seeds(self):
+        rng = np.random.default_rng(0)
+        features = np.vstack([
+            rng.normal(0, 1, (60, 3)),
+            rng.normal(30, 1, (60, 3)),
+        ])
+        values = np.concatenate([
+            np.full(60, 100.0) + rng.normal(0, 2, 60),
+            np.full(60, 500.0) + rng.normal(0, 2, 60),
+        ])
+        errors, selected = megsim_error_distribution(
+            features, values, trials=5
+        )
+        assert errors.shape == (5,)
+        assert np.all(errors >= 0)
+        assert np.all(selected >= 2)  # two obvious phases
+        assert np.max(errors) < 0.1   # phases are flat -> tiny error
+
+    def test_shape_mismatch(self):
+        with pytest.raises(AnalysisError):
+            megsim_error_distribution(np.zeros((5, 2)), np.zeros(6), trials=1)

@@ -1,0 +1,59 @@
+"""Tests for text table/bar rendering."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.analysis.tables import render_bars, render_grouped_bars, render_table
+
+
+class TestTable:
+    def test_alignment(self):
+        text = render_table(["a", "bench"], [["1", "x"], ["22", "yy"]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # equal widths
+
+    def test_title(self):
+        text = render_table(["a"], [["1"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(AnalysisError):
+            render_table(["a", "b"], [["1"]])
+
+    def test_empty_rows(self):
+        text = render_table(["col"], [])
+        assert "col" in text
+
+
+class TestBars:
+    def test_peak_gets_full_width(self):
+        text = render_bars(["a", "b"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_zero_values(self):
+        text = render_bars(["a"], [0.0])
+        assert "#" not in text
+
+    def test_mismatch(self):
+        with pytest.raises(AnalysisError):
+            render_bars(["a"], [1.0, 2.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(AnalysisError):
+            render_bars(["a"], [-1.0])
+
+
+class TestGroupedBars:
+    def test_structure(self):
+        text = render_grouped_bars(
+            ["g1", "g2"], {"s1": [1.0, 2.0], "s2": [0.5, 1.5]}
+        )
+        lines = text.splitlines()
+        assert lines[0] == "g1:"
+        assert sum(1 for line in lines if line.endswith(":")) == 2
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(AnalysisError):
+            render_grouped_bars(["g1"], {"s": [1.0, 2.0]})

@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_parses(self):
+        args = build_parser().parse_args(["run", "table3", "--scale", "0.1"])
+        assert args.experiment == "table3"
+        assert args.scale == 0.1
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_plan_parses(self):
+        args = build_parser().parse_args(["plan", "bbr1"])
+        assert args.benchmark == "bbr1"
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out
+        assert "bbr1" in out
+
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        assert "600 MHz" in capsys.readouterr().out
+
+    def test_plan(self, capsys):
+        assert main(["plan", "hcr", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "representatives" in out
+        assert "cluster" in out
+
+    def test_inspect(self, capsys):
+        assert main(["inspect", "hcr", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "DRAM" in out
+        assert "MEGsim" in out
+
+    def test_figures(self, capsys, tmp_path):
+        assert main([
+            "figures", "hcr", "--frames", "40", "--scale", "0.02",
+            "--outdir", str(tmp_path),
+        ]) == 0
+        assert (tmp_path / "fig5_hcr.pgm").exists()
+        assert (tmp_path / "fig6_hcr.ppm").exists()
+
+    def test_trace_npz(self, capsys, tmp_path):
+        out = tmp_path / "t.npz"
+        assert main(["trace", "hcr", "--scale", "0.02", "--out", str(out)]) == 0
+        from repro.scene.binary_io import load_trace_npz
+
+        assert load_trace_npz(out).name == "hcr"
+
+    def test_trace_json(self, capsys, tmp_path):
+        out = tmp_path / "t.json"
+        assert main(["trace", "hcr", "--scale", "0.02", "--out", str(out)]) == 0
+        from repro.scene.trace import WorkloadTrace
+
+        assert WorkloadTrace.load(out).name == "hcr"

@@ -1,0 +1,83 @@
+"""Tests for the BIC score (Equations 5-6)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ClusteringError
+from repro.core.bic import bic_score, clustering_variance
+from repro.core.kmeans import kmeans
+
+
+def blobs(k_true=3, n_per=40, separation=50.0, seed=0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.vstack([
+        rng.normal(i * separation, 1.0, size=(n_per, 2)) for i in range(k_true)
+    ])
+
+
+class TestVariance:
+    def test_variance_formula(self):
+        points = blobs()
+        result = kmeans(points, 3, seed=1)
+        expected = result.wcss / (points.shape[0] - 3)
+        assert clustering_variance(points, result) == pytest.approx(expected)
+
+    def test_degenerate_k_equals_n(self):
+        points = np.arange(8, dtype=float).reshape(4, 2)
+        result = kmeans(points, 4)
+        assert clustering_variance(points, result) == pytest.approx(0.0)
+
+
+class TestScore:
+    def test_true_k_beats_k1(self):
+        points = blobs(k_true=3)
+        score_1 = bic_score(points, kmeans(points, 1, seed=0))
+        score_3 = bic_score(points, kmeans(points, 3, seed=0))
+        assert score_3 > score_1
+
+    def test_penalty_eventually_wins(self):
+        """On unstructured data, BIC prefers few clusters over many."""
+        rng = np.random.default_rng(2)
+        points = rng.normal(size=(60, 2))
+        score_2 = bic_score(points, kmeans(points, 2, seed=0))
+        score_40 = bic_score(points, kmeans(points, 40, seed=0))
+        assert score_2 > score_40
+
+    def test_finite_for_perfect_fit(self):
+        points = np.arange(10, dtype=float).reshape(5, 2)
+        result = kmeans(points, 5)
+        assert math.isfinite(bic_score(points, result))
+
+    def test_finite_for_duplicates(self):
+        points = np.ones((10, 2))
+        assert math.isfinite(bic_score(points, kmeans(points, 2)))
+
+    def test_shape_mismatch_rejected(self):
+        points = blobs()
+        result = kmeans(points, 2)
+        with pytest.raises(ClusteringError):
+            bic_score(points[:-5], result)
+
+    def test_one_dimensional_rejected(self):
+        points = blobs()
+        result = kmeans(points, 2)
+        with pytest.raises(ClusteringError):
+            bic_score(points.ravel(), result)
+
+    def test_penalty_term_magnitude(self):
+        """BIC = likelihood - (K(M+1)/2) log R exactly (Equation 5)."""
+        points = blobs(k_true=2, n_per=30)
+        result = kmeans(points, 2, seed=0)
+        r, m = points.shape
+        sizes = result.cluster_sizes().astype(float)
+        variance = result.wcss / (r - 2)
+        likelihood = (
+            float((sizes * np.log(sizes)).sum())
+            - r * math.log(r)
+            - (r * m / 2.0) * math.log(2.0 * math.pi * variance)
+            - (m / 2.0) * (r - 2)
+        )
+        expected = likelihood - (2 * (m + 1) / 2.0) * math.log(r)
+        assert bic_score(points, result) == pytest.approx(expected)

@@ -1,0 +1,91 @@
+"""Tests for the BIC-driven cluster search with threshold T."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ClusteringError
+from repro.core.cluster_search import PAPER_THRESHOLD, search_clustering
+
+
+def blobs(k_true=4, n_per=40, separation=60.0, seed=0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.vstack([
+        rng.normal(i * separation, 1.0, size=(n_per, 2)) for i in range(k_true)
+    ])
+
+
+class TestSearch:
+    def test_finds_roughly_true_k(self):
+        result = search_clustering(blobs(k_true=4))
+        assert 3 <= result.chosen_k <= 6
+
+    def test_explored_sequence_is_contiguous_from_one(self):
+        result = search_clustering(blobs())
+        assert result.explored_k == tuple(range(1, result.explored_k[-1] + 1))
+
+    def test_stops_after_bic_decrease(self):
+        result = search_clustering(blobs(), patience=1)
+        scores = result.bic_scores
+        # Only the last transition may be a decrease.
+        for i in range(1, len(scores) - 1):
+            assert scores[i] >= scores[i - 1]
+
+    def test_chosen_meets_threshold(self):
+        result = search_clustering(blobs(), threshold=0.85)
+        best, worst = max(result.bic_scores), min(result.bic_scores)
+        cutoff = worst + 0.85 * (best - worst)
+        assert result.bic_by_k[result.chosen_k] >= cutoff
+
+    def test_chosen_is_smallest_meeting_threshold(self):
+        result = search_clustering(blobs(), threshold=0.85)
+        best, worst = max(result.bic_scores), min(result.bic_scores)
+        cutoff = worst + 0.85 * (best - worst)
+        for k, score in zip(result.explored_k, result.bic_scores):
+            if k < result.chosen_k:
+                assert score < cutoff
+
+    def test_low_threshold_fewer_clusters(self):
+        points = blobs(k_true=5)
+        low = search_clustering(points, threshold=0.2)
+        high = search_clustering(points, threshold=1.0)
+        assert low.chosen_k <= high.chosen_k
+
+    def test_max_k_caps_search(self):
+        result = search_clustering(blobs(k_true=6), max_k=3)
+        assert result.explored_k[-1] <= 3
+        assert result.chosen_k <= 3
+
+    def test_single_point_dataset(self):
+        result = search_clustering(np.zeros((1, 2)))
+        assert result.chosen_k == 1
+
+    def test_identical_points(self):
+        result = search_clustering(np.ones((30, 3)))
+        assert result.chosen_k == 1
+
+    def test_patience_extends_search(self):
+        points = blobs(k_true=4, n_per=25)
+        impatient = search_clustering(points, patience=1)
+        patient = search_clustering(points, patience=3)
+        assert patient.explored_k[-1] >= impatient.explored_k[-1]
+
+    def test_paper_threshold_constant(self):
+        assert PAPER_THRESHOLD == 0.85
+
+
+class TestValidation:
+    def test_bad_threshold(self):
+        with pytest.raises(ClusteringError):
+            search_clustering(blobs(), threshold=1.5)
+
+    def test_bad_patience(self):
+        with pytest.raises(ClusteringError):
+            search_clustering(blobs(), patience=0)
+
+    def test_empty_data(self):
+        with pytest.raises(ClusteringError):
+            search_clustering(np.zeros((0, 3)))
+
+    def test_bad_max_k(self):
+        with pytest.raises(ClusteringError):
+            search_clustering(blobs(), max_k=0)

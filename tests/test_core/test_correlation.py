@@ -1,0 +1,122 @@
+"""Tests for Pearson and multiple correlation (Equations 1-3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AnalysisError
+from repro.core.correlation import multiple_correlation, pearson_correlation
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        x = np.arange(10.0)
+        assert pearson_correlation(x, 3 * x + 2) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.arange(10.0)
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_series_zero(self):
+        assert pearson_correlation(np.ones(5), np.arange(5.0)) == 0.0
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        x, y = rng.normal(size=50), rng.normal(size=50)
+        assert pearson_correlation(x, y) == pytest.approx(
+            np.corrcoef(x, y)[0, 1]
+        )
+
+    def test_length_mismatch(self):
+        with pytest.raises(AnalysisError):
+            pearson_correlation(np.arange(3.0), np.arange(4.0))
+
+    def test_too_short(self):
+        with pytest.raises(AnalysisError):
+            pearson_correlation(np.array([1.0]), np.array([2.0]))
+
+    @given(
+        data=st.lists(
+            st.tuples(st.floats(-1e3, 1e3), st.floats(-1e3, 1e3)),
+            min_size=3, max_size=60,
+        )
+    )
+    @settings(max_examples=50)
+    def test_bounded(self, data):
+        x = np.array([d[0] for d in data])
+        y = np.array([d[1] for d in data])
+        assert -1.0 - 1e-9 <= pearson_correlation(x, y) <= 1.0 + 1e-9
+
+
+class TestMultipleCorrelation:
+    def test_exact_linear_combination(self):
+        rng = np.random.default_rng(1)
+        predictors = rng.normal(size=(80, 3))
+        target = predictors @ np.array([2.0, -1.0, 0.5]) + 7.0
+        assert multiple_correlation(predictors, target) == pytest.approx(1.0)
+
+    def test_single_predictor_equals_abs_pearson(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=60)
+        y = 0.6 * x + rng.normal(scale=0.5, size=60)
+        r_multi = multiple_correlation(x.reshape(-1, 1), y)
+        assert r_multi == pytest.approx(abs(pearson_correlation(x, y)), abs=1e-9)
+
+    def test_independent_predictors_low(self):
+        rng = np.random.default_rng(3)
+        predictors = rng.normal(size=(500, 2))
+        target = rng.normal(size=500)
+        assert multiple_correlation(predictors, target) < 0.2
+
+    def test_rank_deficient_predictors_handled(self):
+        rng = np.random.default_rng(4)
+        base = rng.normal(size=(60, 1))
+        predictors = np.hstack([base, 2 * base, -base])  # rank 1
+        target = base.ravel() * 3.0
+        assert multiple_correlation(predictors, target) == pytest.approx(
+            1.0, abs=1e-6
+        )
+
+    def test_constant_columns_dropped(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(40, 1))
+        predictors = np.hstack([x, np.ones((40, 1))])
+        target = x.ravel()
+        assert multiple_correlation(predictors, target) == pytest.approx(1.0)
+
+    def test_all_constant_predictors(self):
+        assert multiple_correlation(np.ones((10, 2)), np.arange(10.0)) == 0.0
+
+    def test_constant_target(self):
+        rng = np.random.default_rng(6)
+        assert multiple_correlation(rng.normal(size=(10, 2)), np.ones(10)) == 0.0
+
+    def test_matches_lstsq_r(self):
+        """R equals the correlation of target with its least-squares fit."""
+        rng = np.random.default_rng(7)
+        predictors = rng.normal(size=(100, 4))
+        target = predictors @ rng.normal(size=4) + rng.normal(scale=2.0, size=100)
+        design = np.hstack([predictors, np.ones((100, 1))])
+        fitted = design @ np.linalg.lstsq(design, target, rcond=None)[0]
+        expected = pearson_correlation(fitted, target)
+        assert multiple_correlation(predictors, target) == pytest.approx(
+            expected, abs=1e-6
+        )
+
+    def test_row_mismatch(self):
+        with pytest.raises(AnalysisError):
+            multiple_correlation(np.zeros((5, 2)), np.zeros(6))
+
+    def test_bad_shape(self):
+        with pytest.raises(AnalysisError):
+            multiple_correlation(np.zeros(5), np.zeros(5))
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=30)
+    def test_bounded_zero_one(self, seed):
+        rng = np.random.default_rng(seed)
+        predictors = rng.normal(size=(30, 3))
+        target = rng.normal(size=30)
+        r = multiple_correlation(predictors, target)
+        assert 0.0 <= r <= 1.0

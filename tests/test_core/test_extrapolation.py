@@ -1,0 +1,77 @@
+"""Tests for whole-sequence statistic extrapolation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AnalysisError
+from repro.core.extrapolation import extrapolate_statistics
+from repro.core.representatives import Cluster
+from repro.gpu.stats import FrameStats
+
+
+def stats_with_cycles(cycles: float) -> FrameStats:
+    return FrameStats(cycles=cycles, fragment_instructions=cycles * 4)
+
+
+class TestExtrapolation:
+    def test_single_cluster(self):
+        cluster = Cluster(index=0, representative=2, members=(0, 1, 2), weight=3)
+        estimate = extrapolate_statistics(
+            (cluster,), {2: stats_with_cycles(100.0)}
+        )
+        assert estimate.cycles == pytest.approx(300.0)
+
+    def test_multiple_clusters_sum(self):
+        clusters = (
+            Cluster(index=0, representative=0, members=(0, 1), weight=2),
+            Cluster(index=1, representative=2, members=(2, 3, 4), weight=3),
+        )
+        estimate = extrapolate_statistics(
+            clusters,
+            {0: stats_with_cycles(10.0), 2: stats_with_cycles(100.0)},
+        )
+        assert estimate.cycles == pytest.approx(2 * 10.0 + 3 * 100.0)
+
+    def test_exact_when_every_frame_is_a_cluster(self):
+        """k = N degenerates to full simulation: zero error by construction."""
+        values = [13.0, 7.0, 42.0]
+        clusters = tuple(
+            Cluster(index=i, representative=i, members=(i,), weight=1)
+            for i in range(3)
+        )
+        estimate = extrapolate_statistics(
+            clusters, {i: stats_with_cycles(v) for i, v in enumerate(values)}
+        )
+        assert estimate.cycles == pytest.approx(sum(values))
+
+    def test_missing_representative_rejected(self):
+        cluster = Cluster(index=0, representative=1, members=(0, 1), weight=2)
+        with pytest.raises(AnalysisError):
+            extrapolate_statistics((cluster,), {0: stats_with_cycles(1.0)})
+
+    def test_no_clusters_rejected(self):
+        with pytest.raises(AnalysisError):
+            extrapolate_statistics((), {})
+
+    @given(
+        populations=st.lists(st.integers(1, 50), min_size=1, max_size=8),
+        values=st.lists(st.floats(0.0, 1e6, allow_nan=False), min_size=8, max_size=8),
+    )
+    @settings(max_examples=40)
+    def test_linear_in_weights(self, populations, values):
+        clusters = []
+        offset = 0
+        rep_stats = {}
+        for index, population in enumerate(populations):
+            members = tuple(range(offset, offset + population))
+            clusters.append(
+                Cluster(index=index, representative=offset, members=members,
+                        weight=population)
+            )
+            rep_stats[offset] = stats_with_cycles(values[index])
+            offset += population
+        estimate = extrapolate_statistics(tuple(clusters), rep_stats)
+        expected = sum(p * values[i] for i, p in enumerate(populations))
+        assert estimate.cycles == pytest.approx(expected, rel=1e-9)

@@ -1,0 +1,69 @@
+"""Tests for feature matrix construction and normalisation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ClusteringError
+from repro.core.features import FeatureOptions, PAPER_WEIGHTS, build_feature_matrix
+from repro.gpu.functional_sim import FunctionalSimulator
+
+
+@pytest.fixture
+def tiny_profile(tiny_trace):
+    return FunctionalSimulator().profile(tiny_trace)
+
+
+class TestConstruction:
+    def test_shape(self, tiny_profile):
+        matrix, groups = build_feature_matrix(tiny_profile)
+        assert matrix.shape == (6, 3)  # 1 VS + 1 FS + PRIM
+        assert groups.vscv == slice(0, 1)
+        assert groups.fscv == slice(1, 2)
+        assert groups.prim == slice(2, 3)
+
+    def test_group_mass_equals_weights(self, tiny_profile):
+        matrix, groups = build_feature_matrix(tiny_profile)
+        w_vscv, w_fscv, w_prim = PAPER_WEIGHTS
+        assert matrix[:, groups.vscv].sum() == pytest.approx(w_vscv)
+        assert matrix[:, groups.fscv].sum() == pytest.approx(w_fscv)
+        assert matrix[:, groups.prim].sum() == pytest.approx(w_prim)
+
+    def test_custom_weights(self, tiny_profile):
+        options = FeatureOptions(weights=(0.2, 0.3, 0.5))
+        matrix, groups = build_feature_matrix(tiny_profile, options)
+        assert matrix[:, groups.prim].sum() == pytest.approx(0.5)
+
+    def test_instruction_scaling_changes_relative_columns(self, tiny_profile):
+        scaled, _ = build_feature_matrix(tiny_profile)
+        raw, _ = build_feature_matrix(
+            tiny_profile, FeatureOptions(instruction_scaling=False)
+        )
+        # With one shader per table, normalisation makes them equal; the
+        # ratio across frames must match regardless.
+        assert scaled.shape == raw.shape
+
+    def test_frames_with_more_fragments_score_higher_fscv(self, tiny_profile):
+        matrix, groups = build_feature_matrix(tiny_profile)
+        fscv = matrix[:, groups.fscv].ravel()
+        assert fscv[0] > fscv[5]  # near object shades more fragments
+
+    def test_nonnegative(self, tiny_profile):
+        matrix, _ = build_feature_matrix(tiny_profile)
+        assert np.all(matrix >= 0.0)
+
+
+class TestValidation:
+    def test_bad_weight_count(self):
+        with pytest.raises(ClusteringError):
+            FeatureOptions(weights=(0.5, 0.5))  # type: ignore[arg-type]
+
+    def test_negative_weight(self):
+        with pytest.raises(ClusteringError):
+            FeatureOptions(weights=(-0.1, 0.6, 0.5))
+
+    def test_all_zero_weights(self):
+        with pytest.raises(ClusteringError):
+            FeatureOptions(weights=(0.0, 0.0, 0.0))
+
+    def test_paper_weights_from_fig4(self):
+        assert PAPER_WEIGHTS == (0.108, 0.745, 0.147)

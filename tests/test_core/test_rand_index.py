@@ -1,0 +1,91 @@
+"""Tests for the Adjusted Rand Index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AnalysisError
+from repro.core.rand_index import adjusted_rand_index
+
+
+class TestKnownValues:
+    def test_identical_partitions(self):
+        labels = [0, 0, 1, 1, 2, 2]
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    def test_relabeled_partition_is_identical(self):
+        a = [0, 0, 1, 1, 2, 2]
+        b = ["x", "x", "z", "z", "y", "y"]
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+    def test_textbook_value(self):
+        """Hand-computed contingency example."""
+        a = [0, 0, 0, 1, 1, 1]
+        b = [0, 0, 1, 1, 2, 2]
+        # Contingency: rows {3,3}, cols {2,2,2}; sum_cells C(2,2)*?:
+        # pairs-in-both = C(2,2 counts): cells are [2,1,0],[0,1,2] ->
+        # sum_cells = 1 + 0 + 0 + 0 + 0 + 1 = 2
+        # sum_rows = 2*C(3,2) = 6 ; sum_cols = 3*C(2,2)=3 ; total = 15
+        expected_index = 6 * 3 / 15.0
+        maximum = (6 + 3) / 2.0
+        expected = (2 - expected_index) / (maximum - expected_index)
+        assert adjusted_rand_index(a, b) == pytest.approx(expected)
+
+    def test_independent_partitions_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 4, size=2000)
+        b = rng.integers(0, 4, size=2000)
+        assert abs(adjusted_rand_index(a, b)) < 0.05
+
+    def test_all_singletons_identical(self):
+        labels = list(range(8))
+        assert adjusted_rand_index(labels, labels) == 1.0
+
+    def test_single_cluster_both(self):
+        assert adjusted_rand_index([0] * 5, [1] * 5) == 1.0
+
+    def test_refinement_scores_below_one(self):
+        coarse = [0, 0, 0, 0, 1, 1, 1, 1]
+        fine = [0, 0, 1, 1, 2, 2, 3, 3]
+        ari = adjusted_rand_index(coarse, fine)
+        assert 0.0 < ari < 1.0
+
+
+class TestValidation:
+    def test_length_mismatch(self):
+        with pytest.raises(AnalysisError):
+            adjusted_rand_index([0, 1], [0, 1, 2])
+
+    def test_empty(self):
+        with pytest.raises(AnalysisError):
+            adjusted_rand_index([], [])
+
+
+class TestProperties:
+    @given(
+        labels=st.lists(st.integers(0, 4), min_size=2, max_size=60),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=60)
+    def test_symmetric(self, labels, seed):
+        rng = np.random.default_rng(seed)
+        other = rng.integers(0, 3, size=len(labels))
+        assert adjusted_rand_index(labels, other) == pytest.approx(
+            adjusted_rand_index(other, labels)
+        )
+
+    @given(labels=st.lists(st.integers(0, 5), min_size=2, max_size=60))
+    @settings(max_examples=60)
+    def test_self_agreement_is_one(self, labels):
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    @given(
+        labels=st.lists(st.integers(0, 4), min_size=3, max_size=50),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=60)
+    def test_bounded_above_by_one(self, labels, seed):
+        rng = np.random.default_rng(seed)
+        other = rng.integers(0, 4, size=len(labels))
+        assert adjusted_rand_index(labels, other) <= 1.0 + 1e-12

@@ -1,0 +1,63 @@
+"""Tests for the random sub-sampling baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AnalysisError
+from repro.core.random_baseline import random_sampling_plan
+
+
+class TestPlan:
+    def test_ranges_partition_sequence(self):
+        rng = np.random.default_rng(0)
+        clusters = random_sampling_plan(100, 7, rng)
+        members = [m for c in clusters for m in c.members]
+        assert sorted(members) == list(range(100))
+
+    def test_fixed_size_ranges(self):
+        rng = np.random.default_rng(0)
+        clusters = random_sampling_plan(100, 4, rng)
+        assert all(c.weight == 25 for c in clusters)
+
+    def test_uneven_division(self):
+        rng = np.random.default_rng(0)
+        clusters = random_sampling_plan(10, 3, rng)
+        assert sorted(c.weight for c in clusters) == [3, 3, 4]
+
+    def test_representative_inside_range(self):
+        rng = np.random.default_rng(1)
+        for cluster in random_sampling_plan(50, 9, rng):
+            assert cluster.members[0] <= cluster.representative <= cluster.members[-1]
+
+    def test_k_equals_n(self):
+        rng = np.random.default_rng(2)
+        clusters = random_sampling_plan(5, 5, rng)
+        assert [c.representative for c in clusters] == [0, 1, 2, 3, 4]
+
+    def test_k_one(self):
+        rng = np.random.default_rng(3)
+        (cluster,) = random_sampling_plan(20, 1, rng)
+        assert cluster.weight == 20
+
+    def test_randomness_uses_rng(self):
+        a = random_sampling_plan(100, 5, np.random.default_rng(0))
+        b = random_sampling_plan(100, 5, np.random.default_rng(0))
+        c = random_sampling_plan(100, 5, np.random.default_rng(99))
+        assert [x.representative for x in a] == [x.representative for x in b]
+        assert [x.representative for x in a] != [x.representative for x in c]
+
+    @pytest.mark.parametrize("n,k", [(0, 1), (10, 0), (10, 11)])
+    def test_invalid(self, n, k):
+        with pytest.raises(AnalysisError):
+            random_sampling_plan(n, k, np.random.default_rng(0))
+
+    @given(n=st.integers(1, 500), k_fraction=st.floats(0.01, 1.0),
+           seed=st.integers(0, 20))
+    @settings(max_examples=50)
+    def test_weights_always_sum_to_n(self, n, k_fraction, seed):
+        k = max(1, min(n, int(n * k_fraction)))
+        clusters = random_sampling_plan(n, k, np.random.default_rng(seed))
+        assert sum(c.weight for c in clusters) == n
+        assert len(clusters) == k

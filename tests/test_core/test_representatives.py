@@ -1,0 +1,72 @@
+"""Tests for representative selection and the Cluster invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import ClusteringError
+from repro.core.kmeans import kmeans
+from repro.core.representatives import Cluster, select_representatives
+
+
+class TestCluster:
+    def test_representative_must_be_member(self):
+        with pytest.raises(ClusteringError):
+            Cluster(index=0, representative=9, members=(1, 2), weight=2)
+
+    def test_weight_must_match_population(self):
+        with pytest.raises(ClusteringError):
+            Cluster(index=0, representative=1, members=(1, 2), weight=3)
+
+
+class TestSelection:
+    def test_representative_closest_to_centroid(self):
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(40, 3))
+        clustering = kmeans(features, 4, seed=0)
+        clusters = select_representatives(features, clustering)
+        for cluster in clusters:
+            centroid = clustering.centroids[cluster.index]
+            rep_dist = np.linalg.norm(features[cluster.representative] - centroid)
+            for member in cluster.members:
+                member_dist = np.linalg.norm(features[member] - centroid)
+                assert rep_dist <= member_dist + 1e-9
+
+    def test_weights_cover_all_frames(self):
+        rng = np.random.default_rng(1)
+        features = rng.normal(size=(30, 2))
+        clustering = kmeans(features, 3, seed=1)
+        clusters = select_representatives(features, clustering)
+        assert sum(c.weight for c in clusters) == 30
+
+    def test_members_partition_frames(self):
+        rng = np.random.default_rng(2)
+        features = rng.normal(size=(25, 2))
+        clusters = select_representatives(features, kmeans(features, 5, seed=0))
+        seen = sorted(m for c in clusters for m in c.members)
+        assert seen == list(range(25))
+
+    def test_shape_mismatch_rejected(self):
+        rng = np.random.default_rng(3)
+        features = rng.normal(size=(20, 2))
+        clustering = kmeans(features, 2)
+        with pytest.raises(ClusteringError):
+            select_representatives(features[:-1], clustering)
+
+    @given(
+        features=arrays(
+            np.float64,
+            st.tuples(st.integers(4, 30), st.integers(1, 4)),
+            elements=st.floats(-100, 100, allow_nan=False),
+        ),
+        k=st.integers(1, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_invariants(self, features, k):
+        k = min(k, features.shape[0])
+        clusters = select_representatives(features, kmeans(features, k))
+        assert sum(c.weight for c in clusters) == features.shape[0]
+        for cluster in clusters:
+            assert cluster.representative in cluster.members

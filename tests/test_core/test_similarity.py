@@ -1,0 +1,97 @@
+"""Tests for the similarity matrix (Figure 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import ClusteringError
+from repro.core.similarity import render_similarity_matrix, similarity_matrix
+
+
+class TestMatrix:
+    def test_diagonal_zero(self):
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(10, 4))
+        matrix = similarity_matrix(features, upper_only=False)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    def test_matches_pairwise_distance(self):
+        features = np.array([[0.0, 0.0], [3.0, 4.0]])
+        matrix = similarity_matrix(features, upper_only=False)
+        assert matrix[0, 1] == pytest.approx(5.0)
+        assert matrix[1, 0] == pytest.approx(5.0)
+
+    def test_upper_only_zeroes_lower_triangle(self):
+        rng = np.random.default_rng(1)
+        matrix = similarity_matrix(rng.normal(size=(6, 3)), upper_only=True)
+        assert np.allclose(np.tril(matrix, k=-1), 0.0)
+        assert matrix[0, 5] > 0
+
+    def test_identical_frames_distance_zero(self):
+        features = np.ones((4, 3))
+        matrix = similarity_matrix(features, upper_only=False)
+        assert np.allclose(matrix, 0.0)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ClusteringError):
+            similarity_matrix(np.zeros(5))
+
+    @given(
+        features=arrays(
+            np.float64,
+            st.tuples(st.integers(2, 15), st.integers(1, 4)),
+            elements=st.floats(-1e3, 1e3, allow_nan=False),
+        )
+    )
+    @settings(max_examples=40)
+    def test_symmetry_and_nonnegativity(self, features):
+        matrix = similarity_matrix(features, upper_only=False)
+        assert np.all(matrix >= 0.0)
+        assert np.allclose(matrix, matrix.T, atol=1e-6)
+
+    @given(
+        features=arrays(
+            np.float64,
+            st.tuples(st.integers(3, 12), st.integers(1, 3)),
+            elements=st.floats(-100, 100, allow_nan=False),
+        )
+    )
+    @settings(max_examples=40)
+    def test_triangle_inequality(self, features):
+        matrix = similarity_matrix(features, upper_only=False)
+        n = matrix.shape[0]
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    assert matrix[i, j] <= matrix[i, k] + matrix[k, j] + 1e-6
+
+
+class TestRendering:
+    def test_render_shape(self):
+        rng = np.random.default_rng(0)
+        matrix = similarity_matrix(rng.normal(size=(100, 4)), upper_only=False)
+        art = render_similarity_matrix(matrix, width=20)
+        lines = art.splitlines()
+        assert len(lines) == 20
+        assert all(len(line) == 20 for line in lines)
+
+    def test_similar_block_uses_dense_chars(self):
+        # Two repeated halves: block structure must appear.
+        features = np.vstack([np.zeros((20, 2)), np.full((20, 2), 50.0)])
+        matrix = similarity_matrix(features, upper_only=False)
+        art = render_similarity_matrix(matrix, width=4, charset=" #")
+        lines = art.splitlines()
+        # Diagonal blocks similar (space), off-diagonal dissimilar (#).
+        assert lines[0][0] == " "
+        assert lines[0][3] == "#"
+
+    def test_small_matrix(self):
+        matrix = similarity_matrix(np.zeros((2, 2)), upper_only=False)
+        art = render_similarity_matrix(matrix, width=10)
+        assert len(art.splitlines()) == 2
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ClusteringError):
+            render_similarity_matrix(np.zeros((3, 4)))

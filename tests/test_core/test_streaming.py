@@ -1,0 +1,117 @@
+"""Tests for the streaming (single-pass) sampler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ClusteringError
+from repro.core.streaming import StreamingSampler, streaming_plan
+
+
+def phased_features(n_per=60, levels=(0.0, 50.0, 100.0), seed=0):
+    rng = np.random.default_rng(seed)
+    return np.vstack([
+        rng.normal(level, 1.0, size=(n_per, 3)) for level in levels
+    ])
+
+
+class TestStreamingPlan:
+    def test_covers_every_frame(self):
+        features = phased_features()
+        clusters = streaming_plan(features)
+        members = sorted(m for c in clusters for m in c.members)
+        assert members == list(range(features.shape[0]))
+
+    def test_finds_phase_structure(self):
+        features = phased_features()
+        clusters = streaming_plan(features)
+        # Three well-separated phases: a handful of clusters, far fewer
+        # than frames, and no cluster spans two phases.
+        assert 3 <= len(clusters) <= 12
+        for cluster in clusters:
+            phases = {m // 60 for m in cluster.members}
+            assert len(phases) == 1
+
+    def test_representative_is_member(self):
+        for cluster in streaming_plan(phased_features()):
+            assert cluster.representative in cluster.members
+
+    def test_deterministic(self):
+        features = phased_features()
+        a = streaming_plan(features)
+        b = streaming_plan(features)
+        assert [c.members for c in a] == [c.members for c in b]
+
+    def test_radius_controls_granularity(self):
+        features = phased_features()
+        coarse = streaming_plan(features, radius_fraction=2.0)
+        fine = streaming_plan(features, radius_fraction=0.05)
+        assert len(coarse) <= len(fine)
+
+    def test_identical_frames_single_cluster(self):
+        features = np.ones((50, 4))
+        clusters = streaming_plan(features)
+        assert len(clusters) == 1
+        assert clusters[0].weight == 50
+
+    def test_tiny_input(self):
+        clusters = streaming_plan(np.zeros((1, 3)))
+        assert len(clusters) == 1
+
+    def test_invalid_shapes(self):
+        with pytest.raises(ClusteringError):
+            streaming_plan(np.zeros((0, 3)))
+        with pytest.raises(ClusteringError):
+            streaming_plan(np.zeros(5))
+
+
+class TestIncrementalAPI:
+    def test_observe_then_read(self):
+        sampler = StreamingSampler(warmup=8)
+        features = phased_features(n_per=20)
+        for row in features:
+            sampler.observe(row)
+        clusters = sampler.clusters()
+        assert sum(c.weight for c in clusters) == features.shape[0]
+
+    def test_read_mid_stream(self):
+        sampler = StreamingSampler(warmup=4)
+        features = phased_features(n_per=10)
+        for row in features[:15]:
+            sampler.observe(row)
+        partial = sampler.clusters()
+        assert sum(c.weight for c in partial) == 15
+
+    def test_read_during_warmup_flushes(self):
+        sampler = StreamingSampler(warmup=32)
+        for row in phased_features(n_per=3):  # 9 frames < warmup
+            sampler.observe(row)
+        clusters = sampler.clusters()
+        assert sum(c.weight for c in clusters) == 9
+
+    def test_no_frames_rejected(self):
+        with pytest.raises(ClusteringError):
+            StreamingSampler().clusters()
+
+    def test_invalid_params(self):
+        with pytest.raises(ClusteringError):
+            StreamingSampler(radius_fraction=0.0)
+        with pytest.raises(ClusteringError):
+            StreamingSampler(warmup=1)
+
+
+class TestProperties:
+    @given(
+        n=st.integers(3, 80),
+        seed=st.integers(0, 50),
+        fraction=st.floats(0.05, 2.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_partition_invariants(self, n, seed, fraction):
+        rng = np.random.default_rng(seed)
+        features = rng.normal(size=(n, 3))
+        clusters = streaming_plan(features, radius_fraction=fraction)
+        members = sorted(m for c in clusters for m in c.members)
+        assert members == list(range(n))
+        assert all(c.representative in c.members for c in clusters)

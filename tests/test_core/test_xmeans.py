@@ -1,0 +1,77 @@
+"""Tests for the x-means alternative clustering strategy."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ClusteringError
+from repro.core.xmeans import xmeans
+
+
+def blobs(k_true=4, n_per=40, separation=60.0, seed=0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.vstack([
+        rng.normal(i * separation, 1.0, size=(n_per, 2)) for i in range(k_true)
+    ])
+
+
+class TestXMeans:
+    def test_recovers_separated_blobs(self):
+        result = xmeans(blobs(k_true=4))
+        assert result.k == 4
+
+    def test_single_blob_stays_single(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(size=(100, 3))
+        result = xmeans(points)
+        assert result.k <= 3  # no meaningful structure to split into
+
+    def test_k_max_respected(self):
+        result = xmeans(blobs(k_true=6), k_max=3)
+        assert result.k <= 3
+
+    def test_deterministic(self):
+        a = xmeans(blobs(), seed=5)
+        b = xmeans(blobs(), seed=5)
+        assert a.k == b.k
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_every_point_labelled(self):
+        points = blobs(k_true=3)
+        result = xmeans(points)
+        assert result.labels.shape == (points.shape[0],)
+        assert result.labels.max() < result.k
+
+    def test_identical_points(self):
+        result = xmeans(np.ones((30, 2)))
+        assert result.k == 1
+
+    def test_tiny_dataset(self):
+        result = xmeans(np.array([[0.0, 0.0], [1.0, 1.0]]))
+        assert result.k >= 1
+
+    def test_invalid_shapes(self):
+        with pytest.raises(ClusteringError):
+            xmeans(np.zeros((0, 2)))
+        with pytest.raises(ClusteringError):
+            xmeans(np.zeros(5))
+
+    def test_invalid_args(self):
+        with pytest.raises(ClusteringError):
+            xmeans(blobs(), k_max=0)
+        with pytest.raises(ClusteringError):
+            xmeans(blobs(), max_rounds=0)
+
+
+class TestSamplerIntegration:
+    def test_xmeans_plan(self, tiny_trace):
+        from repro.core.sampler import MEGsim, MEGsimOptions
+
+        plan = MEGsim(MEGsimOptions(cluster_method="xmeans")).plan(tiny_trace)
+        assert sum(c.weight for c in plan.clusters) == tiny_trace.frame_count
+        assert plan.selected_frame_count >= 2  # two distinct halves
+
+    def test_unknown_method_rejected(self, tiny_trace):
+        from repro.core.sampler import MEGsim, MEGsimOptions
+
+        with pytest.raises(ClusteringError):
+            MEGsim(MEGsimOptions(cluster_method="dbscan")).plan(tiny_trace)

@@ -1,0 +1,105 @@
+"""Tests for the Table I configuration objects."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu.config import (
+    CacheConfig,
+    DRAMConfig,
+    GPUConfig,
+    QueueConfig,
+    default_config,
+)
+
+
+class TestCacheConfig:
+    def test_lines_and_sets(self):
+        cache = CacheConfig("t", 8 * 1024, line_bytes=64, associativity=2)
+        assert cache.lines == 128
+        assert cache.sets == 64
+
+    def test_size_not_multiple_of_line(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("t", 1000, line_bytes=64)
+
+    def test_lines_not_divisible_by_associativity(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("t", 64 * 3, line_bytes=64, associativity=2)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"size_bytes": 0},
+        {"associativity": 0},
+        {"banks": 0},
+        {"latency_cycles": 0},
+    ])
+    def test_invalid_values(self, kwargs):
+        params = dict(name="t", size_bytes=4096)
+        params.update(kwargs)
+        with pytest.raises(ConfigError):
+            CacheConfig(**params)
+
+
+class TestDRAMConfig:
+    def test_line_transfer_cycles(self):
+        assert DRAMConfig().line_transfer_cycles == 16  # 64B at 4B/cycle
+
+    def test_latency_ordering_enforced(self):
+        with pytest.raises(ConfigError):
+            DRAMConfig(min_latency_cycles=200, max_latency_cycles=100)
+
+    def test_row_multiple_of_line(self):
+        with pytest.raises(ConfigError):
+            DRAMConfig(row_bytes=100)
+
+
+class TestQueueConfig:
+    def test_capacity(self):
+        assert QueueConfig("q", 16, 136).capacity_bytes == 16 * 136
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            QueueConfig("q", 0, 136)
+
+
+class TestGPUConfig:
+    def test_table1_defaults(self):
+        config = default_config()
+        assert config.frequency_mhz == 600
+        assert config.screen_width == 1440
+        assert config.screen_height == 720
+        assert config.tile_size == 32
+        assert config.vertex_processors == 4
+        assert config.fragment_processors == 4
+        assert config.vertex_cache.size_bytes == 4 * 1024
+        assert config.texture_cache.size_bytes == 8 * 1024
+        assert config.tile_cache.size_bytes == 32 * 1024
+        assert config.l2_cache.size_bytes == 256 * 1024
+        assert config.l2_cache.banks == 8
+        assert config.dram.size_bytes == 1 << 30
+        assert config.dram.banks == 8
+        assert config.vertex_input_queue.entries == 16
+        assert config.fragment_queue.entries == 64
+        assert config.color_queue.entry_bytes == 24
+
+    def test_tile_grid(self):
+        config = default_config()
+        assert config.tiles_x == 45  # 1440 / 32
+        assert config.tiles_y == 23  # ceil(720 / 32)
+        assert config.total_tiles == 45 * 23
+        assert config.tile_pixels == 1024
+        assert config.screen_pixels == 1440 * 720
+
+    def test_partial_tiles_counted(self):
+        config = GPUConfig(screen_width=100, screen_height=100, tile_size=32)
+        assert config.tiles_x == 4
+        assert config.tiles_y == 4
+
+    @pytest.mark.parametrize("kwargs", [
+        {"frequency_mhz": 0},
+        {"screen_width": 0},
+        {"tile_size": 0},
+        {"vertex_processors": 0},
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigError):
+            GPUConfig(**kwargs)

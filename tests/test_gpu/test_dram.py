@@ -1,0 +1,105 @@
+"""Tests for the DRAM bank/row-buffer model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.gpu.config import DRAMConfig
+from repro.gpu.dram import DRAMModel, DRAMStats
+
+
+def make_dram(**overrides) -> DRAMModel:
+    return DRAMModel(DRAMConfig(**overrides))
+
+
+class TestTransfer:
+    def test_single_line_is_row_miss(self):
+        dram = make_dram()
+        latency = dram.transfer(1)
+        assert latency == 100
+        assert dram.stats.row_misses == 1
+        assert dram.stats.row_hits == 0
+
+    def test_contiguous_run_hits_open_row(self):
+        dram = make_dram()  # 2048B rows = 32 lines/row
+        dram.transfer(32, contiguous=True)
+        assert dram.stats.row_misses == 1
+        assert dram.stats.row_hits == 31
+
+    def test_run_crossing_rows(self):
+        dram = make_dram()
+        dram.transfer(33, contiguous=True)
+        assert dram.stats.row_misses == 2
+        assert dram.stats.row_hits == 31
+
+    def test_scattered_run_all_misses(self):
+        dram = make_dram()
+        dram.transfer(10, contiguous=False)
+        assert dram.stats.row_misses == 10
+
+    def test_read_write_accounting(self):
+        dram = make_dram()
+        dram.transfer(5, write=False)
+        dram.transfer(3, write=True)
+        assert dram.stats.read_accesses == 5
+        assert dram.stats.write_accesses == 3
+        assert dram.stats.total_accesses == 8
+
+    def test_busy_cycles_include_transfer_and_activation(self):
+        dram = make_dram()
+        dram.transfer(32, contiguous=True)
+        # 32 lines x 16 cycles + 1 activation x (100 - 50)
+        assert dram.stats.busy_cycles == 32 * 16 + 50
+
+    def test_zero_lines_rejected(self):
+        with pytest.raises(SimulationError):
+            make_dram().transfer(0)
+
+
+class TestLatency:
+    def test_average_latency_bounds(self):
+        dram = make_dram()
+        dram.transfer(64, contiguous=True)
+        assert 50 <= dram.average_latency <= 100
+
+    def test_all_misses_gives_max_latency(self):
+        dram = make_dram()
+        dram.transfer(4, contiguous=False)
+        assert dram.average_latency == pytest.approx(100.0)
+
+
+class TestStats:
+    def test_row_hit_rate_empty(self):
+        assert DRAMStats().row_hit_rate == 0.0
+
+    def test_merge(self):
+        a = DRAMStats(read_accesses=1, write_accesses=2, row_hits=3,
+                      row_misses=4, busy_cycles=5)
+        b = DRAMStats(read_accesses=10, write_accesses=20, row_hits=30,
+                      row_misses=40, busy_cycles=50)
+        a.merge(b)
+        assert a.read_accesses == 11
+        assert a.write_accesses == 22
+        assert a.row_hits == 33
+        assert a.row_misses == 44
+        assert a.busy_cycles == 55
+
+
+class TestInvariants:
+    @given(
+        runs=st.lists(
+            st.tuples(st.integers(1, 200), st.booleans(), st.booleans()),
+            min_size=1, max_size=50,
+        )
+    )
+    @settings(max_examples=50)
+    def test_hits_plus_misses_equals_lines(self, runs):
+        dram = make_dram()
+        total = 0
+        for lines, write, contiguous in runs:
+            dram.transfer(lines, write=write, contiguous=contiguous)
+            total += lines
+        assert dram.stats.row_hits + dram.stats.row_misses == total
+        assert dram.stats.total_accesses == total
+        assert dram.stats.busy_cycles >= total * 16

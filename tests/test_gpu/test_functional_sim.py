@@ -1,0 +1,86 @@
+"""Tests for the functional simulator (MEGsim's input producer)."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.cycle_sim import CycleAccurateSimulator
+from repro.gpu.functional_sim import FunctionalSimulator
+
+
+@pytest.fixture(scope="module")
+def functional() -> FunctionalSimulator:
+    return FunctionalSimulator()
+
+
+class TestProfileShape:
+    def test_one_profile_per_frame(self, functional, tiny_trace):
+        profile = functional.profile(tiny_trace)
+        assert profile.frame_count == tiny_trace.frame_count
+        assert [p.frame_id for p in profile.profiles] == list(range(6))
+
+    def test_vector_lengths_match_shader_tables(self, functional, tiny_trace):
+        profile = functional.profile(tiny_trace)
+        assert profile.profiles[0].vs_executions.shape == (1,)
+        assert profile.profiles[0].fs_executions.shape == (1,)
+
+    def test_matrices(self, functional, tiny_trace):
+        profile = functional.profile(tiny_trace)
+        assert profile.vscv_matrix().shape == (6, 1)
+        assert profile.fscv_matrix().shape == (6, 1)
+        assert profile.prim_vector().shape == (6,)
+
+    def test_weights_use_texture_weighting(self, functional, tiny_trace):
+        profile = functional.profile(tiny_trace)
+        fs = tiny_trace.fragment_shaders[0]
+        assert profile.fragment_shader_weights[0] == fs.weighted_instruction_count
+        vs = tiny_trace.vertex_shaders[0]
+        assert profile.vertex_shader_weights[0] == vs.weighted_instruction_count
+
+
+class TestAgreementWithCycleSim:
+    """The paper's methodology requires the functional pass to count the
+    same shader invocations the timing simulator executes."""
+
+    def test_counts_match_cycle_sim(self, functional, tiny_trace):
+        profile = functional.profile(tiny_trace)
+        cycle = CycleAccurateSimulator().simulate(tiny_trace)
+        for frame_profile, frame_stats in zip(
+            profile.profiles, cycle.frame_stats
+        ):
+            assert frame_profile.vs_executions.sum() == frame_stats.vertices_shaded
+            assert frame_profile.fs_executions.sum() == frame_stats.fragments_shaded
+            assert frame_profile.primitives == frame_stats.primitives_binned
+            assert frame_profile.vertex_instructions == frame_stats.vertex_instructions
+            assert (
+                frame_profile.fragment_instructions
+                == frame_stats.fragment_instructions
+            )
+
+    def test_functional_is_faster(self, functional, tiny_trace):
+        # Not a strict benchmark; just the structural claim that profiling
+        # does far less work (no caches, no DRAM, no power model).  Each
+        # side takes the best of three runs so background load on the test
+        # machine cannot flip the comparison.
+        profile_seconds = min(
+            functional.profile(tiny_trace).elapsed_seconds for _ in range(3)
+        )
+        cycle_seconds = min(
+            CycleAccurateSimulator().simulate(tiny_trace).elapsed_seconds
+            for _ in range(3)
+        )
+        assert profile_seconds < cycle_seconds * 2
+
+
+class TestFrameDifferences:
+    def test_near_frames_execute_more_fragment_shaders(
+        self, functional, tiny_trace
+    ):
+        profile = functional.profile(tiny_trace)
+        near = profile.profiles[0].fs_executions.sum()
+        far = profile.profiles[5].fs_executions.sum()
+        assert near > far
+
+    def test_vertex_counts_constant_in_tiny_trace(self, functional, tiny_trace):
+        profile = functional.profile(tiny_trace)
+        counts = {int(p.vs_executions.sum()) for p in profile.profiles}
+        assert len(counts) == 1  # same mesh every frame

@@ -1,0 +1,105 @@
+"""Tests for the L1 -> L2 -> DRAM memory system wiring."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu.config import default_config
+from repro.gpu.hierarchy import MemorySystem
+
+
+@pytest.fixture
+def mem() -> MemorySystem:
+    return MemorySystem(default_config())
+
+
+class TestPropagation:
+    def test_l1_hit_stops_at_l1(self, mem):
+        mem.access("vertex", "vb0", 4, 4, phase="geometry")
+        before_l2 = mem.l2.stats.accesses
+        result = mem.access("vertex", "vb0", 4, 4, phase="geometry")
+        assert result.l1_misses == 0
+        assert mem.l2.stats.accesses == before_l2
+
+    def test_l1_miss_goes_to_l2(self, mem):
+        result = mem.access("vertex", "vb0", 4, 8, phase="geometry")
+        assert result.l1_misses == 4
+        assert mem.l2.stats.accesses == 4
+
+    def test_l2_miss_goes_to_dram(self, mem):
+        result = mem.access("vertex", "vb0", 4, 4, phase="geometry")
+        assert result.l2_misses == 4
+        assert mem.dram.stats.read_accesses == 4
+
+    def test_l2_resident_region_serves_second_l1(self, mem):
+        # Texture cache 0 streams the footprint; cache 1 misses in L1 but
+        # hits the now-resident region in the L2.
+        mem.access("texture", "tex0", 16, 16, phase="raster", l1_index=0)
+        dram_before = mem.dram.stats.total_accesses
+        result = mem.access("texture", "tex0", 16, 16, phase="raster", l1_index=1)
+        assert result.l1_misses == 16
+        assert result.l2_misses == 0
+        assert mem.dram.stats.total_accesses == dram_before
+
+    def test_latency_grows_with_depth(self, mem):
+        cold = mem.access("vertex", "vb0", 2, 2, phase="geometry")
+        warm = mem.access("vertex", "vb0", 2, 2, phase="geometry")
+        assert cold.latency_cycles > warm.latency_cycles
+
+    def test_unknown_l1_rejected(self, mem):
+        with pytest.raises(SimulationError):
+            mem.access("l3", "x", 1, 1, phase="raster")
+
+    def test_unknown_phase_rejected(self, mem):
+        with pytest.raises(SimulationError):
+            mem.access("vertex", "x", 1, 1, phase="compute")
+
+
+class TestPhaseAttribution:
+    def test_traffic_tagged_by_phase(self, mem):
+        mem.access("vertex", "vb0", 4, 4, phase="geometry")
+        mem.access("tile", "plist0", 8, 8, phase="tiling", write=True)
+        assert mem.l2_accesses_by_phase["geometry"] == 4
+        assert mem.l2_accesses_by_phase["tiling"] == 8
+        assert mem.l2_accesses_by_phase["raster"] == 0
+        assert mem.dram_lines_by_phase["geometry"] == 4
+
+
+class TestFramebufferPath:
+    def test_small_flush_stays_in_l2(self, mem):
+        result = mem.write_through_l2("fb", 64, phase="raster")
+        assert result.dram_lines == 0  # 64 lines fit in the 4096-line L2
+
+    def test_large_flush_streams_to_dram(self, mem):
+        lines = 10000  # > L2 capacity
+        result = mem.write_through_l2("fb", lines, phase="raster")
+        assert result.dram_lines == lines
+        assert mem.dram.stats.write_accesses == lines
+
+    def test_invalid_lines(self, mem):
+        with pytest.raises(SimulationError):
+            mem.write_through_l2("fb", 0, phase="raster")
+
+
+class TestOnChipBuffers:
+    def test_tally(self, mem):
+        mem.tally_on_chip("color", 100)
+        mem.tally_on_chip("depth", 50)
+        assert mem.color_buffer.accesses == 100
+        assert mem.depth_buffer.accesses == 50
+        assert mem.color_buffer.hit_rate == 1.0
+
+    def test_unknown_buffer(self, mem):
+        with pytest.raises(SimulationError):
+            mem.tally_on_chip("stencil", 1)
+
+    def test_negative(self, mem):
+        with pytest.raises(SimulationError):
+            mem.tally_on_chip("color", -1)
+
+
+class TestTextureAggregation:
+    def test_texture_stats_sums_all_caches(self, mem):
+        for index in range(4):
+            mem.access("texture", "t", 4, 10, phase="raster", l1_index=index)
+        total = mem.texture_stats()
+        assert total.accesses == 40

@@ -1,0 +1,63 @@
+"""Tests for the per-event energy model and phase attribution."""
+
+import pytest
+
+from repro.gpu.config import default_config
+from repro.gpu.hierarchy import MemorySystem
+from repro.gpu.power import EnergyParams, PowerModel
+from repro.gpu.stats import FrameStats
+
+
+@pytest.fixture
+def mem() -> MemorySystem:
+    return MemorySystem(default_config())
+
+
+class TestAttribution:
+    def test_vertex_work_lands_in_geometry(self, mem):
+        stats = FrameStats(vertex_instructions=1000, vertices_shaded=100,
+                           cycles=1.0)
+        PowerModel().attribute_frame(stats, mem)
+        assert stats.energy_geometry > 0
+        assert stats.energy_geometry > stats.energy_tiling
+
+    def test_fragment_work_lands_in_raster(self, mem):
+        stats = FrameStats(fragment_instructions=1000, fragments_shaded=100,
+                           fragments_generated=120, cycles=1.0)
+        PowerModel().attribute_frame(stats, mem)
+        assert stats.energy_raster > stats.energy_geometry
+        assert stats.energy_raster > stats.energy_tiling
+
+    def test_binning_lands_in_tiling(self, mem):
+        stats = FrameStats(prim_tile_pairs=1000, cycles=1.0)
+        PowerModel().attribute_frame(stats, mem)
+        assert stats.energy_tiling > stats.energy_geometry
+
+    def test_shared_traffic_follows_phase_tags(self, mem):
+        mem.access("tile", "plist", 100, 100, phase="tiling", write=True)
+        stats = FrameStats(cycles=1.0)
+        PowerModel().attribute_frame(stats, mem)
+        # All shared L2/DRAM traffic was tagged tiling.
+        assert stats.energy_tiling > 0
+        assert stats.energy_tiling > stats.energy_geometry
+
+    def test_energy_linear_in_events(self, mem):
+        small = FrameStats(fragment_instructions=1000, cycles=0.0)
+        large = FrameStats(fragment_instructions=2000, cycles=0.0)
+        PowerModel().attribute_frame(small, mem)
+        PowerModel().attribute_frame(large, mem)
+        assert large.energy_raster == pytest.approx(2 * small.energy_raster)
+
+    def test_custom_params(self, mem):
+        params = EnergyParams(fragment_instruction=100.0)
+        stats = FrameStats(fragment_instructions=10, cycles=0.0)
+        PowerModel(params).attribute_frame(stats, mem)
+        assert stats.energy_raster == pytest.approx(1000.0)
+
+    def test_leakage_scales_with_cycles(self, mem):
+        stats = FrameStats(cycles=1000.0)
+        PowerModel().attribute_frame(stats, mem)
+        params = EnergyParams()
+        assert stats.energy_geometry == pytest.approx(
+            1000.0 * params.leak_geometry_per_cycle
+        )

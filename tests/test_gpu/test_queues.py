@@ -1,0 +1,60 @@
+"""Tests for the inter-stage queue model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu.config import QueueConfig
+from repro.gpu.queues import QueueOccupancy, memory_stall_cycles, pipelined_cycles
+
+QUEUE = QueueConfig("q", entries=16, entry_bytes=100)
+
+
+class TestMemoryStall:
+    def test_zero_misses_no_stall(self):
+        assert memory_stall_cycles(0, 100.0, QUEUE) == 0.0
+
+    def test_single_miss_full_latency(self):
+        assert memory_stall_cycles(1, 100.0, QUEUE) == pytest.approx(100.0)
+
+    def test_many_misses_overlap_up_to_queue_depth(self):
+        # 160 misses overlapped 16-wide expose 10x the latency.
+        assert memory_stall_cycles(160, 100.0, QUEUE) == pytest.approx(1000.0)
+
+    def test_few_misses_overlap_fully(self):
+        # 8 misses, up to 16 in flight: the whole batch costs one latency.
+        assert memory_stall_cycles(8, 100.0, QUEUE) == pytest.approx(100.0)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(SimulationError):
+            memory_stall_cycles(-1, 100.0, QUEUE)
+        with pytest.raises(SimulationError):
+            memory_stall_cycles(1, -5.0, QUEUE)
+
+    def test_monotone_in_misses(self):
+        stalls = [memory_stall_cycles(m, 50.0, QUEUE) for m in (1, 16, 32, 64)]
+        assert stalls == sorted(stalls)
+
+
+class TestPipelinedCycles:
+    def test_empty(self):
+        assert pipelined_cycles([]) == 0.0
+
+    def test_slowest_stage_dominates(self):
+        assert pipelined_cycles([100.0, 500.0, 200.0]) == 500.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            pipelined_cycles([10.0, -1.0])
+
+
+class TestOccupancy:
+    def test_push_accumulates(self):
+        occ = QueueOccupancy(QUEUE)
+        occ.push(10)
+        occ.push(5)
+        assert occ.items_enqueued == 15
+        assert occ.bytes_moved == 1500
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            QueueOccupancy(QUEUE).push(-1)

@@ -1,0 +1,48 @@
+"""Tests for CSV export and power reporting."""
+
+import csv
+
+import pytest
+
+from repro.gpu.cycle_sim import CycleAccurateSimulator
+from repro.gpu.stats import FrameStats
+
+
+class TestCSVExport:
+    def test_csv_round_trip(self, tiny_trace, tmp_path):
+        result = CycleAccurateSimulator().simulate(tiny_trace)
+        path = tmp_path / "frames.csv"
+        result.to_csv(path)
+        with path.open() as stream:
+            rows = list(csv.DictReader(stream))
+        assert len(rows) == tiny_trace.frame_count
+        for row, stats in zip(rows, result.frame_stats):
+            assert float(row["cycles"]) == pytest.approx(stats.cycles)
+            assert float(row["dram_accesses"]) == pytest.approx(
+                stats.dram_accesses
+            )
+            assert int(row["frame_id"]) == int(float(row["frame_id"]))
+
+    def test_subset_export(self, tiny_trace, tmp_path):
+        result = CycleAccurateSimulator().simulate(tiny_trace, frame_ids=[1, 3])
+        path = tmp_path / "subset.csv"
+        result.to_csv(path)
+        with path.open() as stream:
+            rows = list(csv.DictReader(stream))
+        assert [int(r["frame_id"]) for r in rows] == [1, 3]
+
+
+class TestPowerWatts:
+    def test_zero_cycles(self):
+        assert FrameStats().average_power_watts() == 0.0
+
+    def test_known_value(self):
+        # 600 MHz, 6e8 cycles = 1 second; 1 J of energy = 1 W.
+        stats = FrameStats(cycles=6e8, energy_raster=1e12)
+        assert stats.average_power_watts(600.0) == pytest.approx(1.0)
+
+    def test_realistic_magnitude(self, tiny_trace):
+        """A mobile GPU dissipates on the order of a watt."""
+        totals = CycleAccurateSimulator().simulate(tiny_trace).totals
+        watts = totals.average_power_watts()
+        assert 0.05 < watts < 20.0

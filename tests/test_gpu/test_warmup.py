@@ -1,0 +1,71 @@
+"""Tests for the ASSI warm-up option of sampled simulation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu.cycle_sim import CycleAccurateSimulator
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return CycleAccurateSimulator()
+
+
+class TestWarmup:
+    def test_zero_warmup_is_default_behaviour(self, simulator, tiny_trace):
+        plain = simulator.simulate(tiny_trace, frame_ids=[3])
+        warm0 = simulator.simulate(tiny_trace, frame_ids=[3], warmup_frames=0)
+        assert plain.frame_stats[0].cycles == warm0.frame_stats[0].cycles
+
+    def test_warmup_changes_cache_state(self, simulator, tiny_trace):
+        """Simulating frame 2 first leaves frame 3's working set warm."""
+        cold = simulator.simulate(tiny_trace, frame_ids=[3])
+        warm = simulator.simulate(tiny_trace, frame_ids=[3], warmup_frames=2)
+        assert (
+            warm.frame_stats[0].texture_cache.misses
+            <= cold.frame_stats[0].texture_cache.misses
+        )
+
+    def test_warmup_does_not_change_work_counts(self, simulator, tiny_trace):
+        cold = simulator.simulate(tiny_trace, frame_ids=[4])
+        warm = simulator.simulate(tiny_trace, frame_ids=[4], warmup_frames=3)
+        assert (
+            warm.frame_stats[0].fragments_shaded
+            == cold.frame_stats[0].fragments_shaded
+        )
+        assert (
+            warm.frame_stats[0].vertex_instructions
+            == cold.frame_stats[0].vertex_instructions
+        )
+
+    def test_only_selected_frames_reported(self, simulator, tiny_trace):
+        result = simulator.simulate(
+            tiny_trace, frame_ids=[2, 5], warmup_frames=2
+        )
+        assert result.frame_ids == (2, 5)
+        assert len(result.frame_stats) == 2
+
+    def test_warmup_clamped_at_sequence_start(self, simulator, tiny_trace):
+        result = simulator.simulate(tiny_trace, frame_ids=[0], warmup_frames=5)
+        assert result.frame_ids == (0,)
+
+    def test_adjacent_selections_do_not_rewarm(self, simulator, tiny_trace):
+        """Warm-up never re-simulates frames already covered."""
+        contiguous = simulator.simulate(
+            tiny_trace, frame_ids=[1, 2, 3], warmup_frames=3
+        )
+        full = simulator.simulate(tiny_trace)
+        # Frames 1-3 of the warmed subset saw frames 0.. in order, exactly
+        # like the full run, so their stats must match it.
+        for fid in (1, 2, 3):
+            assert contiguous.stats_for(fid).l2_cache.misses == (
+                full.stats_for(fid).l2_cache.misses
+            )
+
+    def test_negative_warmup_rejected(self, simulator, tiny_trace):
+        with pytest.raises(SimulationError):
+            simulator.simulate(tiny_trace, frame_ids=[1], warmup_frames=-1)
+
+    def test_full_run_ignores_warmup(self, simulator, tiny_trace):
+        result = simulator.simulate(tiny_trace, warmup_frames=99)
+        assert len(result.frame_stats) == tiny_trace.frame_count

@@ -1,0 +1,196 @@
+"""Tests for the shared per-frame work model (geometry, coverage, early-Z)."""
+
+import pytest
+
+from repro.gpu.config import default_config
+from repro.gpu.workmodel import compute_draw_call_work, compute_frame_work
+from repro.scene.draw import DrawCall
+from repro.scene.frame import Camera, Frame
+from repro.scene.vectors import Vec3
+
+CONFIG = default_config()
+
+
+def frame_with(draw_calls, camera=None) -> Frame:
+    return Frame(frame_id=0, camera=camera or Camera(), draw_calls=tuple(draw_calls))
+
+
+class TestSingleDrawCall:
+    def test_visible_object_generates_fragments(self, draw_call):
+        work = compute_frame_work(frame_with([draw_call]), CONFIG)
+        dcw = work.draw_work[0]
+        assert dcw.fragments_generated > 0
+        assert dcw.fragments_shaded == dcw.fragments_generated  # nothing in front
+        assert dcw.tiles_covered >= 1
+        assert dcw.prim_tile_pairs >= dcw.primitives_binned > 0
+
+    def test_vertices_always_shaded(self, simple_mesh, vertex_shader, fragment_shader):
+        behind = DrawCall(
+            mesh=simple_mesh,
+            vertex_shader=vertex_shader,
+            fragment_shader=fragment_shader,
+            texture_ids=(0,),
+            position=Vec3(0, 0, 50.0),  # behind the camera
+        )
+        work = compute_frame_work(frame_with([behind]), CONFIG)
+        dcw = work.draw_work[0]
+        assert dcw.vertices_shaded == behind.submitted_vertices
+        assert dcw.primitives_clipped == behind.submitted_primitives
+        assert dcw.fragments_generated == 0
+        assert dcw.tiles_covered == 0
+
+    def test_offscreen_lateral_object_fully_clipped(
+        self, simple_mesh, vertex_shader, fragment_shader
+    ):
+        offscreen = DrawCall(
+            mesh=simple_mesh,
+            vertex_shader=vertex_shader,
+            fragment_shader=fragment_shader,
+            texture_ids=(0,),
+            position=Vec3(1000.0, 0, -10.0),
+        )
+        work = compute_frame_work(frame_with([offscreen]), CONFIG)
+        assert work.draw_work[0].fragments_generated == 0
+
+    def test_backface_culling_only_for_closed_meshes(
+        self, simple_mesh, vertex_shader, fragment_shader
+    ):
+        import dataclasses
+
+        flat_mesh = dataclasses.replace(simple_mesh, closed_surface=False)
+        closed_dc = DrawCall(
+            mesh=simple_mesh, vertex_shader=vertex_shader,
+            fragment_shader=fragment_shader, texture_ids=(0,),
+            position=Vec3(0, 0, -10),
+        )
+        flat_dc = DrawCall(
+            mesh=flat_mesh, vertex_shader=vertex_shader,
+            fragment_shader=fragment_shader, texture_ids=(0,),
+            position=Vec3(0, 0, -10),
+        )
+        closed_work = compute_frame_work(frame_with([closed_dc]), CONFIG)
+        flat_work = compute_frame_work(frame_with([flat_dc]), CONFIG)
+        assert closed_work.draw_work[0].primitives_backface_culled > 0
+        assert flat_work.draw_work[0].primitives_backface_culled == 0
+        assert (
+            flat_work.draw_work[0].primitives_binned
+            > closed_work.draw_work[0].primitives_binned
+        )
+
+    def test_overdraw_scales_fragments(
+        self, simple_mesh, vertex_shader, fragment_shader
+    ):
+        def dc(overdraw):
+            return DrawCall(
+                mesh=simple_mesh, vertex_shader=vertex_shader,
+                fragment_shader=fragment_shader, texture_ids=(0,),
+                position=Vec3(0, 0, -10), overdraw=overdraw,
+            )
+        single = compute_frame_work(frame_with([dc(1.0)]), CONFIG).draw_work[0]
+        double = compute_frame_work(frame_with([dc(2.0)]), CONFIG).draw_work[0]
+        assert double.fragments_generated == pytest.approx(
+            2 * single.fragments_generated, rel=0.01
+        )
+
+    def test_instances_scale_work(
+        self, simple_mesh, vertex_shader, fragment_shader
+    ):
+        def dc(instances):
+            return DrawCall(
+                mesh=simple_mesh, vertex_shader=vertex_shader,
+                fragment_shader=fragment_shader, texture_ids=(0,),
+                position=Vec3(0, 0, -20), instance_count=instances,
+            )
+        one = compute_frame_work(frame_with([dc(1)]), CONFIG).draw_work[0]
+        three = compute_frame_work(frame_with([dc(3)]), CONFIG).draw_work[0]
+        assert three.vertices_shaded == 3 * one.vertices_shaded
+        assert three.fragments_generated == pytest.approx(
+            3 * one.fragments_generated, rel=0.01
+        )
+
+    def test_footprint_bounded_by_screen(
+        self, simple_mesh, vertex_shader, fragment_shader
+    ):
+        huge = DrawCall(
+            mesh=simple_mesh, vertex_shader=vertex_shader,
+            fragment_shader=fragment_shader, texture_ids=(0,),
+            position=Vec3(0, 0, -1.0), scale=100.0,
+        )
+        work = compute_frame_work(frame_with([huge]), CONFIG)
+        assert work.draw_work[0].footprint_pixels <= CONFIG.screen_pixels
+        assert work.draw_work[0].tiles_covered <= CONFIG.total_tiles
+
+
+class TestOcclusion:
+    def _pair(self, simple_mesh, vertex_shader, fragment_shader,
+              front_opaque=True):
+        front = DrawCall(
+            mesh=simple_mesh, vertex_shader=vertex_shader,
+            fragment_shader=fragment_shader, texture_ids=(0,),
+            position=Vec3(0, 0, -5), scale=3.0, depth_layer=0,
+            opaque=front_opaque,
+        )
+        back = DrawCall(
+            mesh=simple_mesh, vertex_shader=vertex_shader,
+            fragment_shader=fragment_shader, texture_ids=(0,),
+            position=Vec3(0, 0, -10), scale=3.0, depth_layer=1,
+        )
+        return front, back
+
+    def test_opaque_front_occludes_back(
+        self, simple_mesh, vertex_shader, fragment_shader
+    ):
+        front, back = self._pair(simple_mesh, vertex_shader, fragment_shader)
+        work = compute_frame_work(frame_with([back, front]), CONFIG)
+        back_work = next(
+            w for w in work.draw_work if w.draw_call.depth_layer == 1
+        )
+        assert back_work.fragments_occluded > 0
+        assert back_work.fragments_shaded < back_work.fragments_generated
+
+    def test_transparent_front_does_not_occlude(
+        self, simple_mesh, vertex_shader, fragment_shader
+    ):
+        front, back = self._pair(
+            simple_mesh, vertex_shader, fragment_shader, front_opaque=False
+        )
+        work = compute_frame_work(frame_with([back, front]), CONFIG)
+        back_work = next(
+            w for w in work.draw_work if w.draw_call.depth_layer == 1
+        )
+        assert back_work.fragments_occluded == 0
+
+    def test_depth_order_not_submission_order(
+        self, simple_mesh, vertex_shader, fragment_shader
+    ):
+        front, back = self._pair(simple_mesh, vertex_shader, fragment_shader)
+        forward = compute_frame_work(frame_with([front, back]), CONFIG)
+        reverse = compute_frame_work(frame_with([back, front]), CONFIG)
+        assert forward.fragments_shaded == reverse.fragments_shaded
+
+
+class TestFrameAggregates:
+    def test_aggregates_sum_draw_work(self, draw_call):
+        work = compute_frame_work(frame_with([draw_call, draw_call]), CONFIG)
+        assert work.vertices_shaded == sum(
+            w.vertices_shaded for w in work.draw_work
+        )
+        assert work.fragments_generated == sum(
+            w.fragments_generated for w in work.draw_work
+        )
+
+    def test_active_tiles_bounded(self, draw_call):
+        work = compute_frame_work(frame_with([draw_call] * 10), CONFIG)
+        assert 0 < work.active_tiles <= CONFIG.total_tiles
+
+    def test_empty_frame(self):
+        work = compute_frame_work(frame_with([]), CONFIG)
+        assert work.vertices_shaded == 0
+        assert work.active_tiles == 0
+
+    def test_deterministic(self, draw_call):
+        frame = frame_with([draw_call] * 3)
+        first = compute_frame_work(frame, CONFIG)
+        second = compute_frame_work(frame, CONFIG)
+        assert first.fragments_shaded == second.fragments_shaded
+        assert first.prim_tile_pairs == second.prim_tile_pairs

@@ -1,0 +1,112 @@
+"""Hypothesis property tests on the work model's physical invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.config import default_config
+from repro.gpu.workmodel import compute_frame_work
+from repro.scene.draw import DrawCall
+from repro.scene.frame import Camera, Frame
+from repro.scene.mesh import Mesh
+from repro.scene.shader import ShaderKind, ShaderProgram
+from repro.scene.vectors import Vec3
+
+CONFIG = default_config()
+VS = ShaderProgram(0, ShaderKind.VERTEX, alu_instructions=10)
+FS = ShaderProgram(0, ShaderKind.FRAGMENT, alu_instructions=15)
+
+
+def mesh_strategy():
+    return st.builds(
+        Mesh,
+        mesh_id=st.just(0),
+        vertex_count=st.integers(4, 3000),
+        primitive_count=st.integers(2, 6000),
+        vertex_stride_bytes=st.sampled_from([16, 24, 32, 48]),
+        bounding_radius=st.floats(0.1, 5.0),
+        base_address=st.just(0),
+        closed_surface=st.booleans(),
+    )
+
+
+def draw_call_strategy():
+    return st.builds(
+        DrawCall,
+        mesh=mesh_strategy(),
+        vertex_shader=st.just(VS),
+        fragment_shader=st.just(FS),
+        position=st.builds(
+            Vec3,
+            st.floats(-50, 50),
+            st.floats(-50, 50),
+            st.floats(-100, 20),
+        ),
+        scale=st.floats(0.1, 20.0),
+        instance_count=st.integers(1, 6),
+        overdraw=st.floats(1.0, 4.0),
+        opaque=st.booleans(),
+        depth_layer=st.integers(0, 5),
+    )
+
+
+frames = st.lists(draw_call_strategy(), min_size=0, max_size=6).map(
+    lambda dcs: Frame(frame_id=0, camera=Camera(), draw_calls=tuple(dcs))
+)
+
+
+class TestInvariants:
+    @given(frame=frames)
+    @settings(max_examples=120, deadline=None)
+    def test_counts_conserve(self, frame):
+        work = compute_frame_work(frame, CONFIG)
+        for dcw in work.draw_work:
+            dc = dcw.draw_call
+            # Vertices are always shaded, exactly once per submitted vertex.
+            assert dcw.vertices_shaded == dc.submitted_vertices
+            # Primitive conservation through clip/cull.
+            assert (
+                dcw.primitives_clipped
+                + dcw.primitives_backface_culled
+                + dcw.primitives_binned
+                == dcw.primitives_submitted
+            )
+            assert dcw.primitives_submitted == dc.submitted_primitives
+            # Fragment conservation through early-Z.
+            assert dcw.fragments_occluded + dcw.fragments_shaded == (
+                dcw.fragments_generated
+            )
+            assert 0 <= dcw.fragments_shaded <= dcw.fragments_generated
+            # Screen bounds.
+            assert 0 <= dcw.footprint_pixels <= CONFIG.screen_pixels
+            assert 0.0 <= dcw.screen_coverage <= 1.0
+            assert 0 <= dcw.tiles_covered <= CONFIG.total_tiles
+            # Binning sanity: no pairs without binned primitives, and at
+            # least one tile per binned primitive.
+            if dcw.primitives_binned and dcw.tiles_covered:
+                assert dcw.prim_tile_pairs >= dcw.primitives_binned
+            if dcw.primitives_binned == 0:
+                assert dcw.prim_tile_pairs == 0
+        assert 0 <= work.active_tiles <= CONFIG.total_tiles
+
+    @given(frame=frames)
+    @settings(max_examples=60, deadline=None)
+    def test_deterministic(self, frame):
+        first = compute_frame_work(frame, CONFIG)
+        second = compute_frame_work(frame, CONFIG)
+        assert first.fragments_shaded == second.fragments_shaded
+        assert first.prim_tile_pairs == second.prim_tile_pairs
+        assert first.active_tiles == second.active_tiles
+
+    @given(frame=frames)
+    @settings(max_examples=60, deadline=None)
+    def test_tbdr_never_shades_more_than_tbr(self, frame):
+        import dataclasses
+
+        tbr = compute_frame_work(frame, CONFIG)
+        tbdr_config = dataclasses.replace(CONFIG, rendering_mode="tbdr")
+        tbdr = compute_frame_work(frame, tbdr_config)
+        assert tbdr.fragments_shaded <= tbr.fragments_shaded
+        assert tbdr.fragments_generated == tbr.fragments_generated

@@ -1,0 +1,78 @@
+"""End-to-end integration tests: the whole methodology on real benchmarks.
+
+These are the "does the paper's story hold" tests: a moderately sized
+synthetic sequence, the full functional -> cluster -> sample -> extrapolate
+pipeline, checked against the fully simulated ground truth.
+"""
+
+import pytest
+
+from repro import (
+    CycleAccurateSimulator,
+    FunctionalSimulator,
+    MEGsim,
+    make_benchmark,
+)
+
+
+@pytest.fixture(scope="module")
+def bbr1_quarter():
+    """bbr1 at quarter length: 625 frames with full phase structure."""
+    trace = make_benchmark("bbr1", scale=0.25)
+    plan = MEGsim().plan(trace)
+    sim = CycleAccurateSimulator()
+    full = sim.simulate(trace)
+    reps = sim.simulate(trace, frame_ids=list(plan.representative_frames))
+    estimate = plan.estimate(dict(zip(reps.frame_ids, reps.frame_stats)))
+    return trace, plan, full, reps, estimate
+
+
+class TestHeadlineClaims:
+    def test_substantial_frame_reduction(self, bbr1_quarter):
+        _, plan, _, _, _ = bbr1_quarter
+        assert plan.reduction_factor > 10
+
+    def test_cycles_error_small(self, bbr1_quarter):
+        _, _, full, _, estimate = bbr1_quarter
+        truth = full.totals.cycles
+        assert abs(estimate.cycles - truth) / truth < 0.06
+
+    def test_memory_metrics_error_small(self, bbr1_quarter):
+        _, _, full, _, estimate = bbr1_quarter
+        for metric in ("dram_accesses", "l2_accesses", "tile_cache_accesses"):
+            truth = getattr(full.totals, metric)
+            error = abs(getattr(estimate, metric) - truth) / truth
+            assert error < 0.06, metric
+
+    def test_wall_clock_speedup(self, bbr1_quarter):
+        _, plan, full, reps, _ = bbr1_quarter
+        assert full.elapsed_seconds > reps.elapsed_seconds * 5
+
+    def test_cluster_weights_cover_sequence(self, bbr1_quarter):
+        trace, plan, _, _, _ = bbr1_quarter
+        assert sum(c.weight for c in plan.clusters) == trace.frame_count
+
+
+class TestFunctionalVsCycleConsistency:
+    def test_shader_counts_agree(self, bbr1_quarter):
+        trace, _, full, _, _ = bbr1_quarter
+        profile = FunctionalSimulator().profile(trace)
+        total_fs = sum(p.fs_executions.sum() for p in profile.profiles)
+        assert total_fs == pytest.approx(full.totals.fragments_shaded)
+
+    def test_functional_profile_much_faster(self, bbr1_quarter):
+        trace, _, full, _, _ = bbr1_quarter
+        profile = FunctionalSimulator().profile(trace)
+        assert profile.elapsed_seconds < full.elapsed_seconds
+
+
+class TestCrossBenchmark:
+    @pytest.mark.parametrize("alias", ["jjo", "asp"])
+    def test_pipeline_runs_on_other_genres(self, alias):
+        trace = make_benchmark(alias, scale=0.05)
+        plan = MEGsim().plan(trace)
+        sim = CycleAccurateSimulator()
+        reps = sim.simulate(trace, frame_ids=list(plan.representative_frames))
+        estimate = plan.estimate(dict(zip(reps.frame_ids, reps.frame_stats)))
+        assert estimate.cycles > 0
+        assert plan.reduction_factor > 2

@@ -1,0 +1,83 @@
+"""Tests for draw call validation and derived quantities."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.scene.draw import DrawCall
+from repro.scene.shader import FilterMode, ShaderKind, ShaderProgram, TextureSample
+
+
+class TestDrawCallValidation:
+    def test_valid(self, draw_call):
+        assert draw_call.instance_count == 1
+
+    def test_kind_mismatch_vertex(self, simple_mesh, fragment_shader):
+        with pytest.raises(TraceError):
+            DrawCall(
+                mesh=simple_mesh,
+                vertex_shader=fragment_shader,
+                fragment_shader=fragment_shader,
+                texture_ids=(0,),
+            )
+
+    def test_kind_mismatch_fragment(self, simple_mesh, vertex_shader):
+        with pytest.raises(TraceError):
+            DrawCall(
+                mesh=simple_mesh,
+                vertex_shader=vertex_shader,
+                fragment_shader=vertex_shader,
+            )
+
+    def test_unbound_texture_slot_rejected(self, simple_mesh, vertex_shader):
+        needs_two = ShaderProgram(
+            shader_id=1,
+            kind=ShaderKind.FRAGMENT,
+            alu_instructions=8,
+            texture_samples=(
+                TextureSample(0, FilterMode.LINEAR),
+                TextureSample(1, FilterMode.LINEAR),
+            ),
+        )
+        with pytest.raises(TraceError):
+            DrawCall(
+                mesh=simple_mesh,
+                vertex_shader=vertex_shader,
+                fragment_shader=needs_two,
+                texture_ids=(7,),  # only slot 0 bound
+            )
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [("scale", 0.0), ("instance_count", 0), ("overdraw", 0.5)],
+    )
+    def test_invalid_numeric_fields(
+        self, simple_mesh, vertex_shader, fragment_shader, field, value
+    ):
+        with pytest.raises(TraceError):
+            DrawCall(
+                mesh=simple_mesh,
+                vertex_shader=vertex_shader,
+                fragment_shader=fragment_shader,
+                texture_ids=(0,),
+                **{field: value},
+            )
+
+
+class TestDerived:
+    def test_submitted_counts_scale_with_instances(
+        self, simple_mesh, vertex_shader, fragment_shader
+    ):
+        dc = DrawCall(
+            mesh=simple_mesh,
+            vertex_shader=vertex_shader,
+            fragment_shader=fragment_shader,
+            texture_ids=(0,),
+            instance_count=3,
+        )
+        assert dc.submitted_vertices == simple_mesh.vertex_count * 3
+        assert dc.submitted_primitives == simple_mesh.primitive_count * 3
+
+    def test_world_radius(self, draw_call):
+        assert draw_call.world_radius == pytest.approx(
+            draw_call.mesh.bounding_radius * draw_call.scale
+        )

@@ -1,0 +1,120 @@
+"""Tests for cameras (projection) and frames."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.scene.frame import Camera, Frame
+from repro.scene.vectors import Vec3
+
+
+class TestPerspectiveProjection:
+    def test_centered_object_projects_to_screen_center(self):
+        cam = Camera()
+        footprint = cam.project(Vec3(0, 0, -10), radius=1.0, aspect=2.0)
+        assert footprint is not None
+        cx, cy, r = footprint
+        assert cx == pytest.approx(0.5)
+        assert cy == pytest.approx(0.5)
+        assert r > 0
+
+    def test_radius_shrinks_with_distance(self):
+        cam = Camera()
+        near = cam.project(Vec3(0, 0, -5), 1.0, aspect=2.0)[2]
+        far = cam.project(Vec3(0, 0, -20), 1.0, aspect=2.0)[2]
+        assert near == pytest.approx(4 * far, rel=1e-6)
+
+    def test_behind_camera_returns_none(self):
+        cam = Camera()
+        assert cam.project(Vec3(0, 0, 5), 1.0, aspect=2.0) is None
+
+    def test_sphere_straddling_near_plane_survives(self):
+        cam = Camera(near=0.1)
+        assert cam.project(Vec3(0, 0, 1.0), radius=5.0, aspect=2.0) is not None
+
+    def test_lateral_offset_moves_center(self):
+        cam = Camera()
+        cx, cy, _ = cam.project(Vec3(3, 2, -10), 1.0, aspect=2.0)
+        assert cx > 0.5
+        assert cy > 0.5
+
+    def test_fov_controls_size(self):
+        wide = Camera(fov_y_degrees=90.0).project(Vec3(0, 0, -10), 1.0, 2.0)[2]
+        narrow = Camera(fov_y_degrees=30.0).project(Vec3(0, 0, -10), 1.0, 2.0)[2]
+        assert narrow > wide
+
+    def test_zero_radius_rejected(self):
+        with pytest.raises(TraceError):
+            Camera().project(Vec3(0, 0, -10), 0.0, aspect=2.0)
+
+    def test_bad_aspect_rejected(self):
+        with pytest.raises(TraceError):
+            Camera().project(Vec3(0, 0, -10), 1.0, aspect=0.0)
+
+    @given(
+        depth=st.floats(min_value=1.0, max_value=1000.0),
+        radius=st.floats(min_value=0.01, max_value=100.0),
+    )
+    def test_projected_radius_scales_linearly_with_world_radius(
+        self, depth, radius
+    ):
+        cam = Camera()
+        base = cam.project(Vec3(0, 0, -depth), radius, aspect=2.0)[2]
+        doubled = cam.project(Vec3(0, 0, -depth), 2 * radius, aspect=2.0)[2]
+        assert doubled == pytest.approx(2 * base, rel=1e-9)
+
+
+class TestOrthographicProjection:
+    def test_depth_independent(self):
+        cam = Camera(orthographic=True, ortho_height=10.0)
+        near = cam.project(Vec3(0, 0, -1), 1.0, aspect=2.0)
+        far = cam.project(Vec3(0, 0, -100), 1.0, aspect=2.0)
+        assert near[2] == pytest.approx(far[2])
+
+    def test_radius_fraction(self):
+        cam = Camera(orthographic=True, ortho_height=10.0)
+        assert cam.project(Vec3(0, 0, 0), 2.5, aspect=2.0)[2] == pytest.approx(0.25)
+
+    def test_offsets_scale_with_view_size(self):
+        cam = Camera(orthographic=True, ortho_height=10.0)
+        cx, cy, _ = cam.project(Vec3(10.0, 5.0, 0), 1.0, aspect=2.0)
+        assert cx == pytest.approx(0.5 + 10.0 / 20.0)
+        assert cy == pytest.approx(0.5 + 5.0 / 10.0)
+
+
+class TestCameraValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"fov_y_degrees": 0.5},
+            {"fov_y_degrees": 180.0},
+            {"ortho_height": 0.0},
+            {"near": 0.0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(TraceError):
+            Camera(**kwargs)
+
+    def test_projected_radius_fraction_compat(self):
+        cam = Camera()
+        assert cam.projected_radius_fraction(Vec3(0, 0, -10), 1.0) > 0
+        assert cam.projected_radius_fraction(Vec3(0, 0, 10), 1.0) == 0.0
+
+
+class TestFrame:
+    def test_totals(self, draw_call):
+        frame = Frame(frame_id=0, camera=Camera(), draw_calls=(draw_call, draw_call))
+        assert frame.total_vertices == 2 * draw_call.submitted_vertices
+        assert frame.total_primitives == 2 * draw_call.submitted_primitives
+
+    def test_negative_id_rejected(self, draw_call):
+        with pytest.raises(TraceError):
+            Frame(frame_id=-1, camera=Camera(), draw_calls=(draw_call,))
+
+    def test_empty_frame_allowed(self):
+        frame = Frame(frame_id=0, camera=Camera(), draw_calls=())
+        assert frame.total_vertices == 0

@@ -1,0 +1,73 @@
+"""Tests for mesh and texture descriptors."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.scene.mesh import Mesh, Texture
+
+
+def make_mesh(**overrides) -> Mesh:
+    params = dict(
+        mesh_id=0,
+        vertex_count=100,
+        primitive_count=180,
+        vertex_stride_bytes=32,
+        bounding_radius=1.0,
+        base_address=0,
+    )
+    params.update(overrides)
+    return Mesh(**params)
+
+
+class TestMesh:
+    def test_vertex_buffer_bytes(self):
+        assert make_mesh().vertex_buffer_bytes == 100 * 32
+
+    def test_vertex_reuse(self):
+        mesh = make_mesh(vertex_count=100, primitive_count=200)
+        assert mesh.vertex_reuse == pytest.approx(6.0)
+
+    def test_default_closed(self):
+        assert make_mesh().closed_surface is True
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("mesh_id", -1),
+            ("vertex_count", 2),
+            ("primitive_count", 0),
+            ("vertex_stride_bytes", 2),
+            ("bounding_radius", 0.0),
+            ("bounding_radius", -1.0),
+            ("base_address", -4),
+        ],
+    )
+    def test_invalid_fields_rejected(self, field, value):
+        with pytest.raises(TraceError):
+            make_mesh(**{field: value})
+
+
+class TestTexture:
+    def test_size_bytes(self):
+        tex = Texture(
+            texture_id=0, width=64, height=32, texel_bytes=4, base_address=0
+        )
+        assert tex.size_bytes == 64 * 32 * 4
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("texture_id", -1),
+            ("width", 0),
+            ("height", 0),
+            ("texel_bytes", 0),
+            ("base_address", -1),
+        ],
+    )
+    def test_invalid_fields_rejected(self, field, value):
+        params = dict(
+            texture_id=0, width=64, height=64, texel_bytes=4, base_address=0
+        )
+        params[field] = value
+        with pytest.raises(TraceError):
+            Texture(**params)

@@ -1,0 +1,92 @@
+"""Tests for shader program descriptors and texture weighting."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.scene.shader import (
+    FilterMode,
+    ShaderKind,
+    ShaderProgram,
+    TextureSample,
+)
+
+
+class TestFilterMode:
+    def test_paper_weights(self):
+        """Section III-B: linear=2, bilinear=4, trilinear=8 accesses."""
+        assert FilterMode.LINEAR.memory_accesses == 2
+        assert FilterMode.BILINEAR.memory_accesses == 4
+        assert FilterMode.TRILINEAR.memory_accesses == 8
+
+    def test_nearest_single_access(self):
+        assert FilterMode.NEAREST.memory_accesses == 1
+
+
+class TestTextureSample:
+    def test_valid(self):
+        sample = TextureSample(texture_slot=2, filter_mode=FilterMode.LINEAR)
+        assert sample.texture_slot == 2
+
+    def test_negative_slot_rejected(self):
+        with pytest.raises(TraceError):
+            TextureSample(texture_slot=-1, filter_mode=FilterMode.LINEAR)
+
+
+class TestShaderProgram:
+    def test_instruction_count_counts_texture_ops_once(self):
+        shader = ShaderProgram(
+            shader_id=0,
+            kind=ShaderKind.FRAGMENT,
+            alu_instructions=10,
+            texture_samples=(
+                TextureSample(0, FilterMode.BILINEAR),
+                TextureSample(1, FilterMode.TRILINEAR),
+            ),
+        )
+        assert shader.instruction_count == 12
+
+    def test_weighted_instruction_count_uses_filter_weights(self):
+        shader = ShaderProgram(
+            shader_id=0,
+            kind=ShaderKind.FRAGMENT,
+            alu_instructions=10,
+            texture_samples=(
+                TextureSample(0, FilterMode.LINEAR),
+                TextureSample(1, FilterMode.BILINEAR),
+                TextureSample(2, FilterMode.TRILINEAR),
+            ),
+        )
+        assert shader.weighted_instruction_count == 10 + 2 + 4 + 8
+
+    def test_texture_memory_accesses(self):
+        shader = ShaderProgram(
+            shader_id=0,
+            kind=ShaderKind.FRAGMENT,
+            alu_instructions=5,
+            texture_samples=(TextureSample(0, FilterMode.TRILINEAR),),
+        )
+        assert shader.texture_memory_accesses == 8
+
+    def test_no_textures_weighted_equals_alu(self):
+        shader = ShaderProgram(
+            shader_id=1, kind=ShaderKind.VERTEX, alu_instructions=17
+        )
+        assert shader.weighted_instruction_count == 17
+        assert shader.instruction_count == 17
+
+    def test_vertex_shader_with_textures_rejected(self):
+        with pytest.raises(TraceError):
+            ShaderProgram(
+                shader_id=0,
+                kind=ShaderKind.VERTEX,
+                alu_instructions=10,
+                texture_samples=(TextureSample(0, FilterMode.LINEAR),),
+            )
+
+    def test_zero_instructions_rejected(self):
+        with pytest.raises(TraceError):
+            ShaderProgram(shader_id=0, kind=ShaderKind.VERTEX, alu_instructions=0)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(TraceError):
+            ShaderProgram(shader_id=-1, kind=ShaderKind.VERTEX, alu_instructions=5)

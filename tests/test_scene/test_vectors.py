@@ -1,0 +1,103 @@
+"""Tests for the Vec3 math primitive."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.scene.vectors import Vec3
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+vectors = st.builds(Vec3, finite, finite, finite)
+
+
+class TestBasicOps:
+    def test_add(self):
+        assert Vec3(1, 2, 3) + Vec3(4, 5, 6) == Vec3(5, 7, 9)
+
+    def test_sub(self):
+        assert Vec3(4, 5, 6) - Vec3(1, 2, 3) == Vec3(3, 3, 3)
+
+    def test_scalar_multiply(self):
+        assert Vec3(1, -2, 3) * 2 == Vec3(2, -4, 6)
+
+    def test_rmul(self):
+        assert 2 * Vec3(1, 2, 3) == Vec3(2, 4, 6)
+
+    def test_negation(self):
+        assert -Vec3(1, -2, 3) == Vec3(-1, 2, -3)
+
+    def test_dot(self):
+        assert Vec3(1, 2, 3).dot(Vec3(4, -5, 6)) == 4 - 10 + 18
+
+    def test_cross_of_axes(self):
+        assert Vec3(1, 0, 0).cross(Vec3(0, 1, 0)) == Vec3(0, 0, 1)
+
+    def test_length(self):
+        assert Vec3(3, 4, 0).length() == pytest.approx(5.0)
+
+    def test_distance(self):
+        assert Vec3(1, 1, 1).distance_to(Vec3(1, 1, 4)) == pytest.approx(3.0)
+
+    def test_zero(self):
+        assert Vec3.zero() == Vec3(0.0, 0.0, 0.0)
+
+    def test_as_tuple(self):
+        assert Vec3(1.5, 2.5, 3.5).as_tuple() == (1.5, 2.5, 3.5)
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Vec3(1, 2, 3).x = 5  # type: ignore[misc]
+
+
+class TestNormalize:
+    def test_unit_length(self):
+        v = Vec3(3, 4, 12).normalized()
+        assert v.length() == pytest.approx(1.0)
+
+    def test_zero_vector_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Vec3.zero().normalized()
+
+
+class TestLerp:
+    def test_endpoints(self):
+        a, b = Vec3(0, 0, 0), Vec3(2, 4, 6)
+        assert a.lerp(b, 0.0) == a
+        assert a.lerp(b, 1.0) == b
+
+    def test_midpoint(self):
+        assert Vec3(0, 0, 0).lerp(Vec3(2, 4, 6), 0.5) == Vec3(1, 2, 3)
+
+
+class TestProperties:
+    @given(vectors, vectors)
+    def test_addition_commutes(self, a, b):
+        assert (a + b).as_tuple() == pytest.approx((b + a).as_tuple())
+
+    @given(vectors, vectors)
+    def test_dot_symmetric(self, a, b):
+        assert a.dot(b) == pytest.approx(b.dot(a))
+
+    @given(vectors)
+    def test_cross_with_self_is_zero(self, v):
+        c = v.cross(v)
+        assert c.length() == pytest.approx(0.0, abs=1e-3)
+
+    @given(vectors, vectors)
+    def test_cross_orthogonal_to_operands(self, a, b):
+        c = a.cross(b)
+        scale = max(a.length() * b.length(), 1.0)
+        assert abs(c.dot(a)) / scale == pytest.approx(0.0, abs=1e-6)
+        assert abs(c.dot(b)) / scale == pytest.approx(0.0, abs=1e-6)
+
+    @given(vectors)
+    def test_length_nonnegative(self, v):
+        assert v.length() >= 0.0
+
+    @given(vectors, vectors)
+    def test_triangle_inequality(self, a, b):
+        assert (a + b).length() <= a.length() + b.length() + 1e-6

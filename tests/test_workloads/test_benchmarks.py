@@ -1,0 +1,75 @@
+"""Tests for the eight Table II benchmark definitions."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.benchmarks import (
+    BENCHMARKS,
+    benchmark_aliases,
+    benchmark_spec,
+    make_benchmark,
+)
+
+# Table II reference rows: frames, vertex shaders, fragment shaders, type.
+TABLE2 = {
+    "asp": (4000, 42, 45, "3D"),
+    "bbr1": (2500, 73, 62, "3D"),
+    "bbr2": (4000, 66, 59, "3D"),
+    "hcr": (2000, 5, 5, "2D"),
+    "hwh": (4000, 30, 30, "3D"),
+    "jjo": (5000, 4, 5, "2D"),
+    "pvz": (5000, 4, 5, "2D"),
+    "spd": (5000, 16, 26, "3D"),
+}
+
+
+class TestTable2Fidelity:
+    def test_all_eight_present_in_order(self):
+        assert benchmark_aliases() == tuple(TABLE2)
+
+    @pytest.mark.parametrize("alias", list(TABLE2))
+    def test_row_matches_paper(self, alias):
+        spec = benchmark_spec(alias)
+        frames, vs, fs, game_type = TABLE2[alias]
+        assert spec.frames == frames
+        assert spec.vertex_shader_count == vs
+        assert spec.fragment_shader_count == fs
+        assert spec.game_type == game_type
+
+    @pytest.mark.parametrize("alias", list(TABLE2))
+    def test_script_covers_declared_frames(self, alias):
+        spec = benchmark_spec(alias)
+        assert spec.script_frames == spec.frames
+
+    def test_unique_seeds(self):
+        seeds = [spec.seed for spec in BENCHMARKS.values()]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_unknown_alias(self):
+        with pytest.raises(ConfigError):
+            benchmark_spec("doom")
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("alias", ["bbr1", "pvz"])
+    def test_scaled_generation(self, alias):
+        trace = make_benchmark(alias, scale=0.02)
+        expected = benchmark_spec(alias).scaled(0.02).frames
+        assert trace.frame_count == expected
+        assert trace.name == alias
+
+    def test_full_scale_uses_table2_frames(self):
+        trace = make_benchmark("hcr", scale=0.05)
+        assert trace.frame_count == benchmark_spec("hcr").scaled(0.05).frames
+
+    def test_shader_tables_match_spec(self):
+        trace = make_benchmark("hcr", scale=0.02)
+        assert len(trace.vertex_shaders) == 5
+        assert len(trace.fragment_shaders) == 5
+
+    def test_phases_repeat_for_similarity(self):
+        """Scripts revisit archetypes: the premise behind frame clustering."""
+        for alias in benchmark_aliases():
+            spec = benchmark_spec(alias)
+            names = [entry.phase for entry in spec.script]
+            assert len(names) > len(set(names))

@@ -1,0 +1,81 @@
+"""Calibration regression tests: the simulated suite must stay in the
+Table II / Figure 4 ballpark.
+
+These pin the workload knobs + timing/power model against accidental
+drift: each benchmark's per-frame cycles must stay within a factor of the
+paper's Table II value, IPC in a plausible band, and the average power
+split near the Figure 4 fractions the feature weights rely on.
+"""
+
+import pytest
+
+from repro.gpu.cycle_sim import CycleAccurateSimulator
+from repro.workloads.benchmarks import benchmark_aliases, make_benchmark
+
+SCALE = 0.02
+
+#: Table II: cycles (millions) / frames.
+PAPER_CYCLES_PER_FRAME_M = {
+    "asp": 107811 / 4000, "bbr1": 39839 / 2500, "bbr2": 58317 / 4000,
+    "hcr": 10111 / 2000, "hwh": 86791 / 4000, "jjo": 41219 / 5000,
+    "pvz": 39534 / 5000, "spd": 75938 / 5000,
+}
+
+
+@pytest.fixture(scope="module")
+def totals():
+    simulator = CycleAccurateSimulator()
+    results = {}
+    for alias in benchmark_aliases():
+        trace = make_benchmark(alias, scale=SCALE)
+        result = simulator.simulate(trace)
+        results[alias] = (result.totals, len(result.frame_stats))
+    return results
+
+
+class TestTable2Calibration:
+    @pytest.mark.parametrize("alias", list(PAPER_CYCLES_PER_FRAME_M))
+    def test_cycles_per_frame_in_ballpark(self, totals, alias):
+        stats, frames = totals[alias]
+        measured = stats.cycles / frames / 1e6
+        paper = PAPER_CYCLES_PER_FRAME_M[alias]
+        assert paper / 2 < measured < paper * 2, (
+            f"{alias}: {measured:.1f}M cycles/frame vs paper {paper:.1f}M"
+        )
+
+    @pytest.mark.parametrize("alias", list(PAPER_CYCLES_PER_FRAME_M))
+    def test_ipc_plausible(self, totals, alias):
+        stats, _ = totals[alias]
+        assert 2.5 < stats.ipc < 7.0
+
+    def test_3d_heavier_than_2d(self, totals):
+        def per_frame(alias):
+            stats, frames = totals[alias]
+            return stats.cycles / frames
+        heaviest_2d = max(per_frame(a) for a in ("hcr", "jjo", "pvz"))
+        for alias in ("asp", "hwh", "spd"):
+            assert per_frame(alias) > heaviest_2d
+
+
+class TestFig4Calibration:
+    def test_average_power_split_near_paper(self, totals):
+        geometry = raster = tiling = 0.0
+        for stats, _ in totals.values():
+            g, r, t = stats.power_fractions()
+            geometry += g / len(totals)
+            raster += r / len(totals)
+            tiling += t / len(totals)
+        assert abs(geometry - 0.108) < 0.06
+        assert abs(raster - 0.745) < 0.10
+        assert abs(tiling - 0.147) < 0.06
+
+    def test_raster_dominates_every_benchmark(self, totals):
+        for alias, (stats, _) in totals.items():
+            g, r, t = stats.power_fractions()
+            assert r > 0.45, alias
+            assert r > g and r > t, alias
+
+    def test_realistic_power_envelope(self, totals):
+        for alias, (stats, _) in totals.items():
+            watts = stats.average_power_watts()
+            assert 0.2 < watts < 5.0, f"{alias}: {watts:.2f} W"

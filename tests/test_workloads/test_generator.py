@@ -1,0 +1,144 @@
+"""Tests for the synthetic trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.scene.shader import ShaderKind
+from repro.workloads.generator import GameWorkloadGenerator
+from repro.workloads.specs import GameSpec, PhaseSpec, ScriptEntry
+
+
+def small_spec(game_type="3D", seed=7) -> GameSpec:
+    phases = (
+        PhaseSpec("menu", draw_calls=4, motion=0.1, shader_groups=(0,)),
+        PhaseSpec("play", draw_calls=8, motion=0.8, shader_groups=(1,)),
+    )
+    return GameSpec(
+        alias="mini", title="Mini", description="test", game_type=game_type,
+        downloads_millions="1-5", frames=40,
+        vertex_shader_count=6, fragment_shader_count=6,
+        phases=phases,
+        script=(
+            ScriptEntry("menu", 10), ScriptEntry("play", 20),
+            ScriptEntry("menu", 10),
+        ),
+        seed=seed, shader_group_count=2, mesh_pool=8, texture_pool=6,
+    )
+
+
+@pytest.fixture(scope="module")
+def trace_3d():
+    return GameWorkloadGenerator(small_spec()).generate()
+
+
+@pytest.fixture(scope="module")
+def trace_2d():
+    return GameWorkloadGenerator(small_spec(game_type="2D")).generate()
+
+
+class TestStructure:
+    def test_frame_count(self, trace_3d):
+        assert trace_3d.frame_count == 40
+
+    def test_shader_table_sizes(self, trace_3d):
+        assert len(trace_3d.vertex_shaders) == 6
+        assert len(trace_3d.fragment_shaders) == 6
+
+    def test_shader_kinds(self, trace_3d):
+        assert all(s.kind is ShaderKind.VERTEX for s in trace_3d.vertex_shaders)
+        assert all(s.kind is ShaderKind.FRAGMENT for s in trace_3d.fragment_shaders)
+
+    def test_resource_pools(self, trace_3d):
+        assert len(trace_3d.meshes) == 8
+        assert len(trace_3d.textures) == 6
+
+    def test_trace_validates(self, trace_3d):
+        trace_3d.validate()  # must not raise
+
+    def test_every_frame_has_draw_calls(self, trace_3d):
+        assert all(len(f.draw_calls) >= 1 for f in trace_3d.frames)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = GameWorkloadGenerator(small_spec(seed=3)).generate()
+        b = GameWorkloadGenerator(small_spec(seed=3)).generate()
+        for frame_a, frame_b in zip(a.frames, b.frames):
+            assert len(frame_a.draw_calls) == len(frame_b.draw_calls)
+            for dc_a, dc_b in zip(frame_a.draw_calls, frame_b.draw_calls):
+                assert dc_a.position == dc_b.position
+                assert dc_a.scale == dc_b.scale
+
+    def test_different_seed_different_trace(self):
+        a = GameWorkloadGenerator(small_spec(seed=3)).generate()
+        b = GameWorkloadGenerator(small_spec(seed=4)).generate()
+        assert any(
+            fa.draw_calls[0].scale != fb.draw_calls[0].scale
+            for fa, fb in zip(a.frames, b.frames)
+        )
+
+
+class TestGameTypes:
+    def test_2d_uses_orthographic_camera(self, trace_2d):
+        assert trace_2d.frames[0].camera.orthographic
+
+    def test_3d_uses_perspective_camera(self, trace_3d):
+        assert not trace_3d.frames[0].camera.orthographic
+
+    def test_2d_meshes_are_flat_quads(self, trace_2d):
+        assert all(not m.closed_surface for m in trace_2d.meshes)
+        assert all(m.vertex_count % 4 == 0 for m in trace_2d.meshes)
+
+    def test_3d_meshes_are_closed(self, trace_3d):
+        assert all(m.closed_surface for m in trace_3d.meshes)
+
+    def test_vertex_shaders_never_sample_textures(self, trace_3d, trace_2d):
+        for trace in (trace_3d, trace_2d):
+            assert all(not s.texture_samples for s in trace.vertex_shaders)
+
+
+class TestPhaseStructure:
+    def test_phase_changes_shader_usage(self, trace_3d):
+        """Menu and play segments draw from different shader theme groups."""
+        def shader_set(frames):
+            used = set()
+            for frame in frames:
+                for dc in frame.draw_calls:
+                    used.add(("fs", dc.fragment_shader.shader_id))
+                    used.add(("vs", dc.vertex_shader.shader_id))
+            return used
+
+        menu = shader_set(trace_3d.frames[:10])
+        play = shader_set(trace_3d.frames[10:30])
+        assert menu != play
+
+    def test_menu_segments_similar_across_visits(self, trace_3d):
+        """Both menu segments reuse the same templates."""
+        first = {dc.fragment_shader.shader_id
+                 for dc in trace_3d.frames[0].draw_calls}
+        second = {dc.fragment_shader.shader_id
+                  for dc in trace_3d.frames[35].draw_calls}
+        assert first & second
+
+    def test_smooth_frame_to_frame_motion(self, trace_3d):
+        """Consecutive frames of a segment move objects only slightly."""
+        deltas = []
+        for a, b in zip(trace_3d.frames[12:18], trace_3d.frames[13:19]):
+            if len(a.draw_calls) and len(b.draw_calls):
+                pa, pb = a.draw_calls[0].position, b.draw_calls[0].position
+                deltas.append(pa.distance_to(pb))
+        assert max(deltas) < 5.0
+
+
+class TestAddressLayout:
+    def test_resources_do_not_overlap(self, trace_3d):
+        ranges = [
+            (m.base_address, m.base_address + m.vertex_buffer_bytes)
+            for m in trace_3d.meshes
+        ] + [
+            (t.base_address, t.base_address + t.size_bytes)
+            for t in trace_3d.textures
+        ]
+        ranges.sort()
+        for (start_a, end_a), (start_b, _) in zip(ranges, ranges[1:]):
+            assert end_a <= start_b

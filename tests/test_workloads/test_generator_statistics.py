@@ -1,0 +1,70 @@
+"""Statistical properties of the generated workloads."""
+
+import numpy as np
+import pytest
+
+from repro.scene.shader import FilterMode
+from repro.workloads.benchmarks import benchmark_spec
+from repro.workloads.generator import GameWorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {
+        alias: GameWorkloadGenerator(
+            benchmark_spec(alias).scaled(0.02)
+        ).generate()
+        for alias in ("asp", "pvz")
+    }
+
+
+class TestFilteringMix:
+    def test_3d_leans_trilinear(self, traces):
+        def filter_counts(trace):
+            counts = {mode: 0 for mode in FilterMode}
+            for shader in trace.fragment_shaders:
+                for sample in shader.texture_samples:
+                    counts[sample.filter_mode] += 1
+            return counts
+
+        counts_3d = filter_counts(traces["asp"])
+        counts_2d = filter_counts(traces["pvz"])
+        total_3d = sum(counts_3d.values())
+        total_2d = sum(counts_2d.values())
+        assert total_3d > 0 and total_2d > 0
+        # Trilinear mip-mapping is a 3D idiom; 2D sprites stay bilinear.
+        assert counts_3d[FilterMode.TRILINEAR] / total_3d > (
+            counts_2d[FilterMode.TRILINEAR] / total_2d
+        )
+
+
+class TestDrawCallVolume:
+    def test_3d_uses_more_draw_calls(self, traces):
+        def mean_calls(trace):
+            return np.mean([len(f.draw_calls) for f in trace.frames])
+
+        assert mean_calls(traces["asp"]) > mean_calls(traces["pvz"])
+
+    def test_draw_call_count_varies_over_time(self, traces):
+        counts = [len(f.draw_calls) for f in traces["asp"].frames]
+        assert len(set(counts)) > 1  # activity gating breathes
+
+
+class TestTextureCompression:
+    def test_mostly_compressed_textures(self, traces):
+        for trace in traces.values():
+            texel_sizes = [t.texel_bytes for t in trace.textures]
+            compressed = sum(1 for s in texel_sizes if s == 1)
+            assert compressed >= len(texel_sizes) * 0.4
+
+
+class TestSceneEvolution:
+    def test_intensity_drifts_within_segment(self, traces):
+        """Per-frame total scale follows the segment drift, so frames at a
+        segment's middle differ measurably from its edges."""
+        trace = traces["asp"]
+        def frame_mass(frame):
+            return sum(dc.scale * dc.instance_count for dc in frame.draw_calls)
+
+        masses = [frame_mass(f) for f in trace.frames]
+        assert np.std(masses) / np.mean(masses) > 0.02

@@ -1,0 +1,101 @@
+"""Tests for workload specifications."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.specs import GameSpec, PhaseSpec, ScriptEntry
+
+
+def make_spec(**overrides) -> GameSpec:
+    phases = (
+        PhaseSpec("menu", draw_calls=5, shader_groups=(0,)),
+        PhaseSpec("play", draw_calls=10, shader_groups=(1,)),
+    )
+    params = dict(
+        alias="t", title="Test", description="test", game_type="3D",
+        downloads_millions="1-5", frames=30,
+        vertex_shader_count=4, fragment_shader_count=4,
+        phases=phases,
+        script=(ScriptEntry("menu", 10), ScriptEntry("play", 20)),
+        seed=1, shader_group_count=2,
+    )
+    params.update(overrides)
+    return GameSpec(**params)
+
+
+class TestPhaseSpec:
+    @pytest.mark.parametrize("kwargs", [
+        {"draw_calls": 0},
+        {"object_scale": 0.0},
+        {"overdraw": 0.5},
+        {"transparent_fraction": 1.5},
+        {"shader_groups": ()},
+    ])
+    def test_invalid(self, kwargs):
+        params = dict(name="p", draw_calls=5)
+        params.update(kwargs)
+        with pytest.raises(ConfigError):
+            PhaseSpec(**params)
+
+
+class TestScriptEntry:
+    def test_zero_frames_rejected(self):
+        with pytest.raises(ConfigError):
+            ScriptEntry("menu", 0)
+
+
+class TestGameSpec:
+    def test_valid(self):
+        spec = make_spec()
+        assert spec.script_frames == 30
+
+    def test_frames_must_match_script(self):
+        with pytest.raises(ConfigError):
+            make_spec(frames=99)
+
+    def test_unknown_phase_in_script(self):
+        with pytest.raises(ConfigError):
+            make_spec(script=(ScriptEntry("boss", 30),))
+
+    def test_duplicate_phase_names(self):
+        phases = (
+            PhaseSpec("menu", draw_calls=5),
+            PhaseSpec("menu", draw_calls=6),
+        )
+        with pytest.raises(ConfigError):
+            make_spec(phases=phases, script=(ScriptEntry("menu", 30),))
+
+    def test_shader_group_out_of_range(self):
+        phases = (PhaseSpec("menu", draw_calls=5, shader_groups=(9,)),)
+        with pytest.raises(ConfigError):
+            make_spec(phases=phases, script=(ScriptEntry("menu", 30),))
+
+    def test_bad_game_type(self):
+        with pytest.raises(ConfigError):
+            make_spec(game_type="4D")
+
+    def test_phase_by_name(self):
+        spec = make_spec()
+        assert spec.phase_by_name("menu").name == "menu"
+        with pytest.raises(ConfigError):
+            spec.phase_by_name("boss")
+
+
+class TestScaling:
+    def test_scaled_halves_script(self):
+        spec = make_spec().scaled(0.5)
+        assert spec.frames == 15
+        assert [e.frames for e in spec.script] == [5, 10]
+
+    def test_scaled_preserves_segment_structure(self):
+        spec = make_spec().scaled(0.1)
+        assert len(spec.script) == 2
+        assert all(e.frames >= 1 for e in spec.script)
+
+    def test_scaled_identity(self):
+        spec = make_spec().scaled(1.0)
+        assert spec.frames == 30
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigError):
+            make_spec().scaled(0.0)
