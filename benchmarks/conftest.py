@@ -8,7 +8,9 @@ in minutes).  Set ``MEGSIM_BENCH_SCALE=1.0`` to regenerate the paper-scale
 numbers recorded in EXPERIMENTS.md.
 
 Reports are printed to stdout (run with ``-s`` to see them) and written to
-``benchmarks/reports/<name>.txt``.
+``benchmarks/reports/<name>.txt``.  A session-wide observability collector
+(``repro.obs``) gathers every span/counter the instrumented pipeline emits
+and writes a timing summary to ``benchmarks/reports/obs_summary.txt``.
 """
 
 from __future__ import annotations
@@ -17,6 +19,8 @@ import os
 from pathlib import Path
 
 import pytest
+
+from repro.obs import Collector, render_report, set_collector
 
 REPORT_DIR = Path(__file__).parent / "reports"
 
@@ -29,6 +33,19 @@ def bench_scale() -> float:
 @pytest.fixture(scope="session")
 def scale() -> float:
     return bench_scale()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def obs_collector():
+    """Collect spans/counters for the whole session; write the summary."""
+    collector = Collector()
+    set_collector(collector)
+    yield collector
+    set_collector(None)
+    REPORT_DIR.mkdir(exist_ok=True)
+    (REPORT_DIR / "obs_summary.txt").write_text(
+        render_report(collector) + "\n"
+    )
 
 
 @pytest.fixture(scope="session")

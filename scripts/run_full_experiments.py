@@ -4,6 +4,10 @@ Regenerates every table and figure at the paper's full frame counts and
 writes the reports to ``experiments_full/``.  One process so all
 experiments share the cached per-benchmark evaluations.
 
+Alongside the reports the campaign writes its provenance: a run manifest
+(``manifest.json``) and a span/counter summary (``obs_summary.txt``),
+both produced by :mod:`repro.obs`.
+
 Run:  python scripts/run_full_experiments.py [outdir]
 """
 
@@ -11,8 +15,9 @@ from __future__ import annotations
 
 import json
 import sys
-import time
 from pathlib import Path
+
+from repro.obs import Collector, RunManifest, render_report, set_collector, span
 
 from repro.analysis.experiments import (
     fig3_correlation,
@@ -45,6 +50,14 @@ def main() -> None:
     outdir = Path(sys.argv[1] if len(sys.argv) > 1 else "experiments_full")
     outdir.mkdir(exist_ok=True)
     summary: dict[str, float] = {}
+    collector = Collector()
+    set_collector(collector)
+    manifest = RunManifest.begin(
+        command=tuple(sys.argv[1:]) or ("run_full_experiments",),
+        experiment="full-campaign",
+        scale=1.0,
+        seed=0,
+    )
 
     steps = [
         ("table1", lambda: table1_config()),
@@ -60,9 +73,9 @@ def main() -> None:
             scale=1.0, megsim_trials=20, random_trials=1000, max_k=48)),
     ]
     for name, runner in steps:
-        started = time.perf_counter()
-        result = runner()
-        elapsed = time.perf_counter() - started
+        with span("experiment.full", experiment=name) as timing:
+            result = runner()
+        elapsed = timing.elapsed_seconds
         (outdir / f"{name}.txt").write_text(result.report + "\n")
         summary[name] = elapsed
         print(f"[done] {name} in {elapsed:.1f}s", flush=True)
@@ -78,14 +91,18 @@ def main() -> None:
         ("ablation_convergence",
          lambda: scale_convergence_study("jjo", scales=(0.1, 0.25, 0.5, 1.0))),
     ]:
-        started = time.perf_counter()
-        _, report = runner()
-        elapsed = time.perf_counter() - started
+        with span("experiment.full", experiment=name) as timing:
+            _, report = runner()
+        elapsed = timing.elapsed_seconds
         (outdir / f"{name}.txt").write_text(report + "\n")
         summary[name] = elapsed
         print(f"[done] {name} in {elapsed:.1f}s", flush=True)
 
     (outdir / "timings.json").write_text(json.dumps(summary, indent=2))
+    set_collector(None)
+    manifest.finish(collector)
+    manifest.write(outdir / "manifest.json")
+    (outdir / "obs_summary.txt").write_text(render_report(collector) + "\n")
     print("all experiments complete")
 
 

@@ -51,6 +51,14 @@ from repro.gpu import (
     GPUConfig,
     default_config,
 )
+from repro.obs import (
+    Collector,
+    RunManifest,
+    counter,
+    gauge,
+    render_report,
+    span,
+)
 from repro.scene import WorkloadTrace
 from repro.workloads import benchmark_aliases, benchmark_spec, make_benchmark
 
@@ -89,4 +97,11 @@ __all__ = [
     "benchmark_aliases",
     "benchmark_spec",
     "make_benchmark",
+    # Observability.
+    "span",
+    "counter",
+    "gauge",
+    "Collector",
+    "RunManifest",
+    "render_report",
 ]

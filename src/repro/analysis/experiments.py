@@ -31,6 +31,7 @@ from repro.core.similarity import render_similarity_matrix, similarity_matrix
 from repro.errors import AnalysisError
 from repro.gpu.config import default_config
 from repro.gpu.stats import KEY_METRICS
+from repro.obs import span
 from repro.workloads.benchmarks import BENCHMARKS, benchmark_aliases
 
 #: Paper reference numbers, used in side-by-side reports.
@@ -503,4 +504,5 @@ def run_experiment(name: str, **kwargs) -> ExperimentResult:
         raise AnalysisError(
             f"unknown experiment {name!r}; available: {', '.join(EXPERIMENTS)}"
         )
-    return EXPERIMENTS[name](**kwargs)
+    with span("experiment", experiment=name):
+        return EXPERIMENTS[name](**kwargs)

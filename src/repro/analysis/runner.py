@@ -26,6 +26,7 @@ from repro.gpu.config import GPUConfig
 from repro.gpu.cycle_sim import CycleAccurateSimulator, SequenceResult
 from repro.gpu.functional_sim import FunctionalSimulator, SequenceProfile
 from repro.gpu.stats import FrameStats, KEY_METRICS
+from repro.obs import span
 from repro.scene.trace import WorkloadTrace
 from repro.workloads.benchmarks import make_benchmark
 
@@ -106,9 +107,11 @@ def _base_evaluation(
     key = (alias, scale, config)
     if use_cache and key in _BASE_CACHE:
         return _BASE_CACHE[key]
-    trace = make_benchmark(alias, scale=scale)
+    with span("workload.generate", benchmark=alias, scale=scale):
+        trace = make_benchmark(alias, scale=scale)
     profile = FunctionalSimulator(config).profile(trace)
-    full = CycleAccurateSimulator(config).simulate(trace)
+    with span("evaluate.ground_truth", benchmark=alias):
+        full = CycleAccurateSimulator(config).simulate(trace)
     base = (trace, profile, full)
     if use_cache:
         _BASE_CACHE[key] = base
@@ -138,14 +141,17 @@ def evaluate_benchmark(
     if use_cache and key in _CACHE:
         return _CACHE[key]
 
-    trace, profile, full = _base_evaluation(alias, scale, config, use_cache)
-    plan = MEGsim(opts).plan_from_profile(profile)
-    representatives = CycleAccurateSimulator(config).simulate(
-        trace, frame_ids=list(plan.representative_frames)
-    )
-    estimate = plan.estimate(
-        dict(zip(representatives.frame_ids, representatives.frame_stats))
-    )
+    with span("evaluate.benchmark", benchmark=alias, scale=scale):
+        trace, profile, full = _base_evaluation(alias, scale, config, use_cache)
+        plan = MEGsim(opts).plan_from_profile(profile)
+        with span("evaluate.representatives", benchmark=alias,
+                  frames=plan.selected_frame_count):
+            representatives = CycleAccurateSimulator(config).simulate(
+                trace, frame_ids=list(plan.representative_frames)
+            )
+        estimate = plan.estimate(
+            dict(zip(representatives.frame_ids, representatives.frame_stats))
+        )
     evaluation = BenchmarkEvaluation(
         alias=alias,
         scale=scale,

@@ -7,15 +7,26 @@ Examples::
     megsim run fig7 --scale 1.0       # full-length Figure 7
     megsim plan bbr1 --scale 0.2      # show a sampling plan
     megsim all --scale 0.25           # every experiment, in paper order
+
+Observability (see ``docs/observability.md``): every command accepts
+``--trace out.jsonl`` (stream span/counter/gauge events as JSON Lines,
+plus a run manifest ``out.manifest.json``), ``--profile`` (print a
+phase-timing report when done) and ``--manifest path.json``.  Setting the
+``MEGSIM_TRACE`` environment variable to a path is equivalent to passing
+``--trace`` with that path.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
+from pathlib import Path
 
 from repro.analysis.experiments import EXPERIMENTS, run_experiment
-from repro.core.sampler import MEGsim
+from repro.core.sampler import MEGsim, MEGsimOptions
+from repro.obs import Collector, JsonlSink, RunManifest, render_report, set_collector, span
 from repro.workloads.benchmarks import benchmark_aliases, make_benchmark
 
 
@@ -23,6 +34,25 @@ def _add_scale(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale", type=float, default=1.0,
         help="sequence-length scale (1.0 = the paper's frame counts)",
+    )
+
+
+def _add_obs(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace", dest="trace_out", metavar="PATH", default=None,
+        help="write span/counter/gauge events as JSON Lines to PATH "
+             "(also honours the MEGSIM_TRACE environment variable)",
+    )
+    group.add_argument(
+        "--profile", action="store_true",
+        help="print a phase-timing report when the command finishes",
+    )
+    group.add_argument(
+        "--manifest", dest="manifest_out", metavar="PATH", default=None,
+        help="write a run manifest (config, seed, version, per-phase "
+             "timings) to PATH; defaults to <trace>.manifest.json when "
+             "--trace is given",
     )
 
 
@@ -38,19 +68,23 @@ def build_parser() -> argparse.ArgumentParser:
     run = commands.add_parser("run", help="run one experiment")
     run.add_argument("experiment", choices=sorted(EXPERIMENTS))
     _add_scale(run)
+    _add_obs(run)
 
     everything = commands.add_parser("all", help="run every experiment")
     _add_scale(everything)
+    _add_obs(everything)
 
     plan = commands.add_parser("plan", help="show a benchmark's sampling plan")
     plan.add_argument("benchmark", choices=benchmark_aliases())
     _add_scale(plan)
+    _add_obs(plan)
 
     inspect = commands.add_parser(
         "inspect", help="per-stage statistics of a benchmark"
     )
     inspect.add_argument("benchmark", choices=benchmark_aliases())
     _add_scale(inspect)
+    _add_obs(inspect)
 
     figures = commands.add_parser(
         "figures", help="write Figure 5/6 images (PGM/PPM)"
@@ -61,6 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--outdir", default=".",
                          help="directory for fig5.pgm / fig6.ppm")
     _add_scale(figures)
+    _add_obs(figures)
 
     trace = commands.add_parser(
         "trace", help="generate a benchmark trace and write it to a file"
@@ -69,6 +104,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--out", required=True,
                        help="output path (.npz binary or .json)")
     _add_scale(trace)
+    _add_obs(trace)
 
     return parser
 
@@ -77,6 +113,48 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
 
+    trace_path = (
+        getattr(args, "trace_out", None) or os.environ.get("MEGSIM_TRACE") or None
+    )
+    manifest_path = getattr(args, "manifest_out", None)
+    profiling = bool(getattr(args, "profile", False))
+    if not (trace_path or manifest_path or profiling):
+        return _dispatch(args)
+
+    sink = JsonlSink(trace_path) if trace_path else None
+    collector = Collector(sink=sink)
+    set_collector(collector)
+    manifest = RunManifest.begin(
+        command=tuple(argv) if argv is not None else tuple(sys.argv[1:]),
+        experiment=getattr(args, "experiment", None)
+        or getattr(args, "benchmark", None),
+        scale=getattr(args, "scale", None),
+        seed=MEGsimOptions().seed,
+        config={"command": args.command},
+    )
+    try:
+        with span(f"cli.{args.command}", command=args.command):
+            return _dispatch(args)
+    finally:
+        set_collector(None)
+        manifest.finish(collector)
+        if sink is not None:
+            sink.emit({
+                "type": "manifest",
+                "ts": time.time(),
+                "manifest": manifest.to_dict(),
+            })
+        collector.close()
+        if manifest_path is None and trace_path:
+            manifest_path = str(Path(trace_path).with_suffix(".manifest.json"))
+        if manifest_path:
+            manifest.write(manifest_path)
+        if profiling:
+            print(render_report(collector))
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    """Execute one parsed command; returns the process exit code."""
     if args.command == "list":
         print("experiments:", ", ".join(EXPERIMENTS))
         print("benchmarks:", ", ".join(benchmark_aliases()))
@@ -89,10 +167,20 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "all":
-        for name in EXPERIMENTS:
+        total = len(EXPERIMENTS)
+        for index, name in enumerate(EXPERIMENTS, 1):
+            # One line per experiment (before and after) so a hung or slow
+            # experiment is identifiable mid-run.
+            print(f"[{index}/{total}] {name} ...", flush=True)
             kwargs = {} if name == "table1" else {"scale": args.scale}
-            result = run_experiment(name, **kwargs)
+            with span("experiment.cli", experiment=name) as timing:
+                result = run_experiment(name, **kwargs)
             print(result.report)
+            print(
+                f"[{index}/{total}] {name} done in "
+                f"{timing.elapsed_seconds:.2f}s",
+                flush=True,
+            )
             print()
         return 0
 

@@ -18,6 +18,7 @@ import numpy as np
 from repro.errors import ClusteringError
 from repro.core.bic import bic_score
 from repro.core.kmeans import KMeansResult, kmeans
+from repro.obs import counter, span
 
 #: The paper's empirically chosen BIC-spread threshold.
 PAPER_THRESHOLD = 0.85
@@ -92,23 +93,29 @@ def search_clustering(
     clusterings: list[KMeansResult] = []
     scores: list[float] = []
     decreases = 0
-    for k in range(1, cap + 1):
-        result = min(
-            (
-                kmeans(points, k, seed=seed + attempt * 9973)
-                for attempt in range(restarts)
-            ),
-            key=lambda r: r.wcss,
-        )
-        score = bic_score(points, result)
-        clusterings.append(result)
-        scores.append(score)
-        if len(scores) >= 2 and score < scores[-2]:
-            decreases += 1
-            if decreases >= patience:
-                break
-        else:
-            decreases = 0
+    with span("cluster.search", frames=n, max_k=cap, restarts=restarts):
+        for k in range(1, cap + 1):
+            with span("cluster.k", k=k):
+                result = min(
+                    (
+                        kmeans(points, k, seed=seed + attempt * 9973)
+                        for attempt in range(restarts)
+                    ),
+                    key=lambda r: r.wcss,
+                )
+                score = bic_score(points, result)
+            counter("cluster.kmeans_runs", restarts)
+            counter("cluster.kmeans_iterations", result.iterations)
+            clusterings.append(result)
+            scores.append(score)
+            if len(scores) >= 2 and score < scores[-2]:
+                decreases += 1
+                if decreases >= patience:
+                    break
+            else:
+                decreases = 0
+        counter("cluster.searches")
+        counter("cluster.k_explored", len(scores))
 
     best = max(scores)
     worst = min(scores)

@@ -26,6 +26,7 @@ from repro.core.features import FeatureOptions, build_feature_matrix
 from repro.core.representatives import Cluster, select_representatives
 from repro.gpu.functional_sim import FunctionalSimulator, SequenceProfile
 from repro.gpu.stats import FrameStats
+from repro.obs import counter, gauge, span
 from repro.scene.trace import WorkloadTrace
 
 
@@ -194,6 +195,19 @@ class MEGsim:
 
     def plan_from_profile(self, profile: SequenceProfile) -> SamplingPlan:
         """Run the methodology on an existing functional profile."""
+        with span(
+            "megsim.plan",
+            trace=profile.trace_name,
+            frames=profile.frame_count,
+            method=self.options.cluster_method,
+        ):
+            plan = self._plan_from_profile(profile)
+            counter("megsim.plans")
+            counter("megsim.representatives", plan.selected_frame_count)
+            gauge("megsim.chosen_k", plan.search.chosen_k)
+        return plan
+
+    def _plan_from_profile(self, profile: SequenceProfile) -> SamplingPlan:
         opts = self.options
         features, _ = build_feature_matrix(profile, opts.features)
         if opts.projection_dims is not None:

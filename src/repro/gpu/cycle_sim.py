@@ -18,10 +18,10 @@ bandwidth-saturated frame cannot finish before its memory traffic drains).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
+from repro.obs import counter, gauge, get_collector, span
 from repro.gpu.cache import CacheStats
 from repro.gpu.config import GPUConfig, default_config
 from repro.gpu.dram import DRAMStats
@@ -159,22 +159,47 @@ class CycleAccurateSimulator:
                     )
         textures = {t.texture_id: t for t in trace.textures}
         mem = MemorySystem(self.config, cache_model=self.cache_model)
-        started = time.perf_counter()
-        stats = []
-        previous = -1
-        for fid in selected:
-            first_warm = max(fid - warmup_frames, previous + 1, 0)
-            for warm_id in range(first_warm, fid):
-                self._simulate_frame(trace.frames[warm_id], textures, mem)
-            stats.append(self._simulate_frame(trace.frames[fid], textures, mem))
-            previous = fid
-        elapsed = time.perf_counter() - started
+        with span(
+            "cycle.simulate",
+            trace=trace.name,
+            frames=len(selected),
+            warmup_frames=warmup_frames,
+        ) as timing:
+            stats = []
+            warmed = 0
+            previous = -1
+            for fid in selected:
+                first_warm = max(fid - warmup_frames, previous + 1, 0)
+                for warm_id in range(first_warm, fid):
+                    self._simulate_frame(trace.frames[warm_id], textures, mem)
+                    warmed += 1
+                stats.append(
+                    self._simulate_frame(trace.frames[fid], textures, mem)
+                )
+                previous = fid
+            counter("cycle.frames_simulated", len(selected))
+            if warmed:
+                counter("cycle.warmup_frames", warmed)
+            if get_collector() is not None:
+                self._record_gauges(stats)
         return SequenceResult(
             trace_name=trace.name,
             frame_ids=tuple(selected),
             frame_stats=tuple(stats),
-            elapsed_seconds=elapsed,
+            elapsed_seconds=timing.elapsed_seconds,
         )
+
+    @staticmethod
+    def _record_gauges(stats: list[FrameStats]) -> None:
+        """Surface the run's per-stage totals as gauges (tracing only)."""
+        totals = FrameStats.total(stats)
+        gauge("cycle.cycles", totals.cycles)
+        gauge("cycle.geometry_cycles", totals.geometry_cycles)
+        gauge("cycle.tiling_cycles", totals.tiling_cycles)
+        gauge("cycle.raster_cycles", totals.raster_cycles)
+        gauge("cycle.dram_accesses", totals.dram_accesses)
+        gauge("cycle.l2_accesses", totals.l2_accesses)
+        gauge("cycle.tile_cache_accesses", totals.tile_cache_accesses)
 
     def simulate_frame(self, frame: Frame, trace: WorkloadTrace) -> FrameStats:
         """Simulate a single frame with cold caches (convenience API)."""

@@ -17,12 +17,12 @@ from feeding its timing model with the functional front-end's trace.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.obs import counter, span
 from repro.gpu.config import GPUConfig, default_config
 from repro.gpu.workmodel import compute_frame_work
 from repro.scene.frame import Frame
@@ -125,9 +125,11 @@ class FunctionalSimulator:
         """Profile every frame of ``trace``."""
         if trace.frame_count == 0:
             raise SimulationError("cannot profile an empty trace")
-        started = time.perf_counter()
-        profiles = tuple(self.profile_frame(f, trace) for f in trace.frames)
-        elapsed = time.perf_counter() - started
+        with span(
+            "functional.profile", trace=trace.name, frames=trace.frame_count
+        ) as timing:
+            profiles = tuple(self.profile_frame(f, trace) for f in trace.frames)
+            counter("functional.frames_profiled", trace.frame_count)
         return SequenceProfile(
             trace_name=trace.name,
             profiles=profiles,
@@ -139,5 +141,5 @@ class FunctionalSimulator:
                 [s.weighted_instruction_count for s in trace.fragment_shaders],
                 dtype=np.float64,
             ),
-            elapsed_seconds=elapsed,
+            elapsed_seconds=timing.elapsed_seconds,
         )

@@ -1,0 +1,53 @@
+"""Observability layer: tracing spans, counters/gauges, run manifests.
+
+Everything the pipeline reports about itself flows through this package:
+
+* :func:`span` / :func:`counter` / :func:`gauge` — zero-dependency
+  instrumentation primitives (:mod:`repro.obs.trace`), no-ops unless a
+  :class:`Collector` is installed via :func:`set_collector` or
+  :func:`collecting`.
+* :class:`JsonlSink` — streams every event to a JSON Lines file
+  (:mod:`repro.obs.sink`; schema in ``docs/observability.md``).
+* :func:`render_report` — the ``--profile`` text summary
+  (:mod:`repro.obs.report`).
+* :class:`RunManifest` / :func:`describe_version` — durable provenance
+  for every run (:mod:`repro.obs.manifest`).
+
+Quickstart::
+
+    from repro.obs import collecting, counter, render_report, span
+
+    with collecting() as collector:
+        with span("my.phase", items=3):
+            counter("my.items", 3)
+    print(render_report(collector))
+"""
+
+from repro.obs.manifest import RunManifest, describe_version
+from repro.obs.report import render_report
+from repro.obs.sink import JsonlSink
+from repro.obs.trace import (
+    Collector,
+    Span,
+    collecting,
+    counter,
+    gauge,
+    get_collector,
+    set_collector,
+    span,
+)
+
+__all__ = [
+    "Span",
+    "Collector",
+    "span",
+    "counter",
+    "gauge",
+    "collecting",
+    "set_collector",
+    "get_collector",
+    "JsonlSink",
+    "render_report",
+    "RunManifest",
+    "describe_version",
+]

@@ -1,0 +1,164 @@
+"""Run manifests: what ran, with which knobs, and what it cost.
+
+A :class:`RunManifest` is the durable sibling of the in-memory trace: a
+small JSON document written next to experiment output that records the
+command line, experiment, scale, seed, code version (git-describe style
+when running from a checkout), interpreter/platform, wall-clock window,
+per-phase timings and counter totals.  Two runs with the same knobs have
+the same :meth:`RunManifest.fingerprint`, which is what makes result
+directories auditable after the fact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform as _platform
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.version import __version__
+
+
+def describe_version() -> str:
+    """The code version, git-describe style when possible.
+
+    Returns ``git describe --tags --always --dirty`` when the package
+    runs from a git checkout, otherwise the static package version.
+    """
+    try:
+        result = subprocess.run(
+            ["git", "describe", "--tags", "--always", "--dirty"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return __version__
+    described = result.stdout.strip()
+    if result.returncode != 0 or not described:
+        return __version__
+    return described
+
+
+def _utcnow() -> str:
+    return datetime.now(timezone.utc).isoformat()
+
+
+@dataclass
+class RunManifest:
+    """Provenance record of one CLI/script run.
+
+    Attributes:
+        command: the argv of the run (without the program name).
+        experiment: experiment or benchmark alias, when one was named.
+        scale: sequence-length scale of the run, when applicable.
+        seed: clustering seed in effect (MEGsim's determinism knob).
+        config: free-form extra configuration worth recording.
+        version: :func:`describe_version` at construction time.
+        python / platform: interpreter and OS identification.
+        started_at / finished_at: UTC ISO-8601 wall-clock window.
+        phases: per-span-name timing aggregate (``name``, ``count``,
+            ``total_seconds``), filled by :meth:`finish`.
+        counters / gauges: collector totals, filled by :meth:`finish`.
+    """
+
+    command: tuple[str, ...]
+    experiment: str | None = None
+    scale: float | None = None
+    seed: int | None = None
+    config: dict = field(default_factory=dict)
+    version: str = field(default_factory=describe_version)
+    python: str = field(default_factory=lambda: sys.version.split()[0])
+    platform: str = field(default_factory=_platform.platform)
+    started_at: str | None = None
+    finished_at: str | None = None
+    phases: list = field(default_factory=list)
+    counters: dict = field(default_factory=dict)
+    gauges: dict = field(default_factory=dict)
+
+    @classmethod
+    def begin(
+        cls,
+        command,
+        experiment: str | None = None,
+        scale: float | None = None,
+        seed: int | None = None,
+        config: dict | None = None,
+    ) -> "RunManifest":
+        """Start a manifest, stamping the start time."""
+        return cls(
+            command=tuple(str(part) for part in command),
+            experiment=experiment,
+            scale=scale,
+            seed=seed,
+            config=dict(config or {}),
+            started_at=_utcnow(),
+        )
+
+    def finish(self, collector=None) -> "RunManifest":
+        """Stamp the end time and absorb a collector's aggregates."""
+        self.finished_at = _utcnow()
+        if collector is not None:
+            by_name: dict[str, dict[str, float]] = {}
+            for record in collector.spans:
+                row = by_name.setdefault(
+                    record.name, {"count": 0.0, "total_seconds": 0.0}
+                )
+                row["count"] += 1
+                row["total_seconds"] += record.elapsed_seconds
+            self.phases = [
+                {
+                    "name": name,
+                    "count": int(row["count"]),
+                    "total_seconds": row["total_seconds"],
+                }
+                for name, row in sorted(by_name.items())
+            ]
+            self.counters = dict(collector.counters)
+            self.gauges = dict(collector.gauges)
+        return self
+
+    def identity(self) -> dict:
+        """The deterministic fields: everything but wall-clock facts."""
+        return {
+            "command": list(self.command),
+            "experiment": self.experiment,
+            "scale": self.scale,
+            "seed": self.seed,
+            "config": self.config,
+            "version": self.version,
+            "python": self.python,
+        }
+
+    def fingerprint(self) -> str:
+        """SHA-256 over :meth:`identity`; equal for identical runs."""
+        payload = json.dumps(self.identity(), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (the file contents)."""
+        return {
+            **self.identity(),
+            "fingerprint": self.fingerprint(),
+            "platform": self.platform,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "phases": self.phases,
+            "counters": self.counters,
+            "gauges": self.gauges,
+        }
+
+    def write(self, path) -> Path:
+        """Write the manifest as indented JSON; returns the path."""
+        target = Path(path)
+        if target.parent != Path(""):
+            target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True,
+                                     default=str) + "\n")
+        return target

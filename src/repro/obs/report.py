@@ -1,0 +1,68 @@
+"""Text summary of a collector: the ``--profile`` report.
+
+Aggregates completed spans by name (count, cumulative and self time),
+then lists counter totals and gauge values — the quick "where did the
+time go" view every perf PR should quote.
+"""
+
+from __future__ import annotations
+
+from repro.obs.trace import Collector, Span
+
+
+def _aggregate_spans(spans: list[Span]) -> dict[str, dict[str, float]]:
+    rows: dict[str, dict[str, float]] = {}
+    for record in spans:
+        row = rows.setdefault(
+            record.name, {"count": 0.0, "total": 0.0, "self": 0.0}
+        )
+        row["count"] += 1
+        row["total"] += record.elapsed_seconds
+        row["self"] += record.self_seconds
+    return rows
+
+
+def render_report(collector: Collector, top: int = 20) -> str:
+    """Render a phase-timing/counter summary of ``collector``.
+
+    Args:
+        collector: the (usually finished) collector to summarize.
+        top: maximum span names listed, most cumulative time first.
+    """
+    lines = ["== observability report =="]
+    traced = sum(record.elapsed_seconds for record in collector.roots)
+    lines.append(
+        f"traced total {traced:.3f}s across {len(collector.roots)} root "
+        f"span(s), {len(collector.spans)} span(s) overall"
+    )
+
+    rows = _aggregate_spans(collector.spans)
+    if rows:
+        lines.append("")
+        lines.append(
+            f"{'span':<36} {'count':>7} {'total(s)':>10} "
+            f"{'self(s)':>10} {'mean(s)':>10}"
+        )
+        ranked = sorted(rows.items(), key=lambda kv: -kv[1]["total"])
+        for name, row in ranked[:top]:
+            mean = row["total"] / row["count"] if row["count"] else 0.0
+            lines.append(
+                f"{name:<36} {int(row['count']):>7} {row['total']:>10.3f} "
+                f"{row['self']:>10.3f} {mean:>10.3f}"
+            )
+        if len(ranked) > top:
+            lines.append(f"... {len(ranked) - top} more span name(s)")
+
+    if collector.counters:
+        lines.append("")
+        lines.append(f"{'counter':<44} {'total':>14}")
+        for name in sorted(collector.counters):
+            lines.append(f"{name:<44} {collector.counters[name]:>14g}")
+
+    if collector.gauges:
+        lines.append("")
+        lines.append(f"{'gauge':<44} {'value':>14}")
+        for name in sorted(collector.gauges):
+            lines.append(f"{name:<44} {collector.gauges[name]:>14.6g}")
+
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""JSON Lines event sink for the tracing layer.
+
+One event per line, schema documented in ``docs/observability.md``
+(``span_start``, ``span_end``, ``counter``, ``gauge``, ``manifest``).
+The sink is deliberately dumb — it serializes whatever dict the
+:class:`~repro.obs.trace.Collector` emits — so the schema lives in one
+place (the collector) and the file stays greppable/streamable.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+
+def _jsonable(value):
+    """Coerce non-JSON values (numpy scalars, paths) to plain types."""
+    for caster in (float, str):
+        try:
+            return caster(value)
+        except (TypeError, ValueError):
+            continue
+    return repr(value)
+
+
+class JsonlSink:
+    """Append trace events to a JSON Lines file.
+
+    Thread-safe; lines are written eagerly (the file is useful even if
+    the process dies mid-run, which is exactly when a trace matters).
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        if self.path.parent != Path(""):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._stream = self.path.open("w", encoding="utf-8")
+        self._lock = threading.Lock()
+
+    def emit(self, event: dict) -> None:
+        """Write one event as a JSON line (ignored after :meth:`close`)."""
+        line = json.dumps(event, sort_keys=True, default=_jsonable)
+        with self._lock:
+            if not self._stream.closed:
+                self._stream.write(line + "\n")
+                self._stream.flush()
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        with self._lock:
+            if not self._stream.closed:
+                self._stream.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

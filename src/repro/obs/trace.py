@@ -1,0 +1,313 @@
+"""Zero-dependency tracing: nestable spans, counters and gauges.
+
+The primitives (mirroring MGSim's hierarchical metrics collection and the
+layered visibility Daisen builds for Akita-based simulators):
+
+* :func:`span` — a context manager timing one region of execution.  Spans
+  nest: a span opened while another is active becomes its child, so a run
+  produces a tree (CLI command → experiment → evaluation → simulator).
+* :func:`counter` — a monotonically accumulated named value (frames
+  simulated, k-means iterations), attributed to the innermost open span
+  *and* aggregated globally.
+* :func:`gauge` — a last-value-wins named measurement (total cycles of the
+  most recent simulation, chosen k).
+
+Recording is opt-in: all three are no-ops unless a :class:`Collector` has
+been installed with :func:`set_collector` (the CLI does this for
+``--trace``/``--profile``; the benchmark harness installs one per
+session).  A disabled :func:`span` still measures wall time and yields a
+:class:`Span`, so instrumented code can read ``elapsed_seconds`` from the
+single timing mechanism whether or not anything is collecting — there are
+deliberately no ad-hoc ``perf_counter`` sites left in the simulators.
+
+Thread model: each thread of execution keeps its own stack of open spans
+(nesting is a per-thread notion), while counter/gauge aggregation is
+serialized under one lock, so concurrent workers can all report into the
+same collector.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+
+class Span:
+    """One timed region of execution: a node in the span tree.
+
+    Attributes:
+        name: dotted phase name (e.g. ``"cycle.simulate"``).
+        attrs: free-form attributes given at :func:`span` entry.
+        span_id: collector-unique id (0 when recorded without a collector).
+        parent_id: id of the enclosing span, or ``None`` for roots.
+        started / ended: ``time.perf_counter`` timestamps; ``ended`` is
+            ``None`` while the span is open.
+        counters: counter deltas attributed to this span.
+        gauges: gauge values set while this span was innermost.
+        children: completed child spans, in completion order.
+    """
+
+    __slots__ = (
+        "name", "attrs", "span_id", "parent_id", "started", "ended",
+        "counters", "gauges", "children",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        attrs: dict[str, Any] | None = None,
+        span_id: int = 0,
+        parent_id: int | None = None,
+    ) -> None:
+        self.name = name
+        self.attrs = dict(attrs) if attrs else {}
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.started = 0.0
+        self.ended: float | None = None
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.children: list[Span] = []
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Wall time of the span (running total while still open)."""
+        end = self.ended if self.ended is not None else time.perf_counter()
+        return end - self.started
+
+    @property
+    def self_seconds(self) -> float:
+        """Elapsed time not covered by recorded child spans."""
+        return max(
+            0.0,
+            self.elapsed_seconds - sum(c.elapsed_seconds for c in self.children),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "open" if self.ended is None else f"{self.elapsed_seconds:.6f}s"
+        return f"Span({self.name!r}, {state})"
+
+
+class Collector:
+    """In-memory aggregation of spans, counters and gauges.
+
+    Attributes:
+        roots: completed spans with no parent (one tree per top-level
+            phase per thread).
+        spans: every completed span, in completion order.
+        counters: global counter totals.
+        gauges: global last-written gauge values.
+        sink: optional event sink (e.g. :class:`repro.obs.JsonlSink`)
+            receiving one dict per span/counter/gauge event.
+    """
+
+    def __init__(self, sink=None) -> None:
+        self.sink = sink
+        self.roots: list[Span] = []
+        self.spans: list[Span] = []
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Span lifecycle.
+    # ------------------------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current_span(self) -> Span | None:
+        """The innermost open span of the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def start_span(self, name: str, attrs: dict[str, Any] | None = None) -> Span:
+        """Open a span as a child of the calling thread's current span."""
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        record = Span(
+            name,
+            attrs,
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent is not None else None,
+        )
+        stack.append(record)
+        record.started = time.perf_counter()
+        self._emit({
+            "type": "span_start",
+            "ts": time.time(),
+            "span_id": record.span_id,
+            "parent_id": record.parent_id,
+            "name": record.name,
+            "attrs": record.attrs,
+        })
+        return record
+
+    def end_span(self, record: Span) -> None:
+        """Close a span and file it under its parent (or as a root)."""
+        record.ended = time.perf_counter()
+        stack = self._stack()
+        while stack and stack[-1] is not record:
+            # An inner span leaked past its `with` block (exception paths
+            # can do this); close the stack down to the span being ended
+            # so the tree stays consistent.
+            stack.pop()
+        if stack:
+            stack.pop()
+        parent = stack[-1] if stack else None
+        with self._lock:
+            self.spans.append(record)
+            if parent is not None:
+                parent.children.append(record)
+            else:
+                self.roots.append(record)
+        self._emit({
+            "type": "span_end",
+            "ts": time.time(),
+            "span_id": record.span_id,
+            "name": record.name,
+            "elapsed_seconds": record.elapsed_seconds,
+            "counters": dict(record.counters),
+            "gauges": dict(record.gauges),
+        })
+
+    # ------------------------------------------------------------------
+    # Counters and gauges.
+    # ------------------------------------------------------------------
+
+    def add_counter(self, name: str, delta: float = 1.0) -> float:
+        """Accumulate ``delta`` into a named counter; returns the total."""
+        record = self.current_span()
+        value = float(delta)
+        with self._lock:
+            total = self.counters.get(name, 0.0) + value
+            self.counters[name] = total
+            if record is not None:
+                record.counters[name] = record.counters.get(name, 0.0) + value
+        self._emit({
+            "type": "counter",
+            "ts": time.time(),
+            "span_id": record.span_id if record is not None else None,
+            "name": name,
+            "delta": value,
+            "total": total,
+        })
+        return total
+
+    def set_gauge(self, name: str, value: float) -> float:
+        """Set a named gauge (last value wins); returns the value."""
+        record = self.current_span()
+        number = float(value)
+        with self._lock:
+            self.gauges[name] = number
+            if record is not None:
+                record.gauges[name] = number
+        self._emit({
+            "type": "gauge",
+            "ts": time.time(),
+            "span_id": record.span_id if record is not None else None,
+            "name": name,
+            "value": number,
+        })
+        return number
+
+    # ------------------------------------------------------------------
+    # Sink plumbing.
+    # ------------------------------------------------------------------
+
+    def _emit(self, event: dict) -> None:
+        if self.sink is not None:
+            self.sink.emit(event)
+
+    def emit_event(self, event: dict) -> None:
+        """Forward an arbitrary event dict to the sink (if any)."""
+        self._emit(event)
+
+    def close(self) -> None:
+        """Close the attached sink, if any."""
+        if self.sink is not None:
+            self.sink.close()
+
+
+# ----------------------------------------------------------------------
+# Module-level API: one process-wide active collector.
+# ----------------------------------------------------------------------
+
+_active: Collector | None = None
+
+
+def set_collector(collector: Collector | None) -> Collector | None:
+    """Install (or, with ``None``, remove) the active collector."""
+    global _active
+    _active = collector
+    return collector
+
+
+def get_collector() -> Collector | None:
+    """The active collector, or ``None`` when tracing is disabled."""
+    return _active
+
+
+@contextmanager
+def collecting(sink=None) -> Iterator[Collector]:
+    """Install a fresh :class:`Collector` for the duration of a block.
+
+    The previous collector (usually ``None``) is restored on exit; the
+    collector is yielded so callers can inspect or report on it.
+    """
+    previous = _active
+    collector = Collector(sink=sink)
+    set_collector(collector)
+    try:
+        yield collector
+    finally:
+        set_collector(previous)
+
+
+@contextmanager
+def span(name: str, **attrs: Any) -> Iterator[Span]:
+    """Time a region of execution, recording it when tracing is enabled.
+
+    Always yields a :class:`Span` whose ``elapsed_seconds`` is valid after
+    the block exits, so instrumented code has exactly one timing
+    mechanism; the span only enters the collector's tree (and the JSONL
+    event stream) when a collector is active.
+    """
+    collector = _active
+    if collector is None:
+        record = Span(name)
+        record.started = time.perf_counter()
+        try:
+            yield record
+        finally:
+            record.ended = time.perf_counter()
+    else:
+        record = collector.start_span(name, attrs)
+        try:
+            yield record
+        finally:
+            collector.end_span(record)
+
+
+def counter(name: str, delta: float = 1.0) -> float | None:
+    """Accumulate into a named counter; no-op (``None``) when disabled."""
+    collector = _active
+    if collector is None:
+        return None
+    return collector.add_counter(name, delta)
+
+
+def gauge(name: str, value: float) -> float | None:
+    """Set a named gauge; no-op (``None``) when tracing is disabled."""
+    collector = _active
+    if collector is None:
+        return None
+    return collector.set_gauge(name, value)

@@ -1,0 +1,63 @@
+"""The docs lint (scripts/check_docs.py) passes and catches regressions."""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+SCRIPT = (
+    Path(__file__).resolve().parent.parent.parent / "scripts" / "check_docs.py"
+)
+
+
+@pytest.fixture(scope="module")
+def check_docs():
+    spec = importlib.util.spec_from_file_location("check_docs", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestRepositoryIsClean:
+    def test_lint_passes(self, check_docs, capsys):
+        assert check_docs.main() == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_no_failures_collected(self, check_docs):
+        assert check_docs.collect_failures() == []
+
+
+class TestLintMechanics:
+    def test_exported_names_reads_all(self, check_docs, tmp_path):
+        module = tmp_path / "mod.py"
+        module.write_text('__all__ = ["alpha", "beta"]\n')
+        assert check_docs.exported_names(module) == ["alpha", "beta"]
+
+    def test_exported_names_requires_all(self, check_docs, tmp_path):
+        module = tmp_path / "mod.py"
+        module.write_text("x = 1\n")
+        with pytest.raises(ValueError):
+            check_docs.exported_names(module)
+
+    def test_python_fences_extracted(self, check_docs):
+        text = "intro\n```python\nx = 1\n```\n```\nnot python\n```\n"
+        assert check_docs.python_fences(text) == ["x = 1\n"]
+
+    def test_broken_fence_detected(self, check_docs):
+        fences = check_docs.python_fences("```python\ndef broken(:\n```\n")
+        assert fences
+        with pytest.raises(SyntaxError):
+            compile(fences[0], "fence", "exec")
+
+    def test_obs_exports_are_covered(self, check_docs):
+        """Every repro.obs export is in docs/api.md (the PR's contract)."""
+        api_text = (
+            SCRIPT.parent.parent / "docs" / "api.md"
+        ).read_text()
+        obs_init = (
+            SCRIPT.parent.parent / "src" / "repro" / "obs" / "__init__.py"
+        )
+        for name in check_docs.exported_names(obs_init):
+            assert name in api_text, name

@@ -1,0 +1,93 @@
+"""Run manifests: determinism, collector absorption, file format."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import (
+    RunManifest,
+    collecting,
+    counter,
+    describe_version,
+    gauge,
+    span,
+)
+
+
+def _begin(seed: int = 0) -> RunManifest:
+    return RunManifest.begin(
+        command=("run", "table3", "--scale", "0.25"),
+        experiment="table3",
+        scale=0.25,
+        seed=seed,
+        config={"command": "run"},
+    )
+
+
+class TestDeterminism:
+    def test_same_inputs_same_fingerprint(self):
+        first, second = _begin(), _begin()
+        assert first.fingerprint() == second.fingerprint()
+        # Wall-clock facts must not leak into the identity.
+        second.finished_at = "2099-01-01T00:00:00+00:00"
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_seed_changes_fingerprint(self):
+        assert _begin(seed=0).fingerprint() != _begin(seed=1).fingerprint()
+
+    def test_identity_excludes_timing(self):
+        manifest = _begin()
+        identity = manifest.identity()
+        assert "started_at" not in identity
+        assert "finished_at" not in identity
+        assert "phases" not in identity
+        assert identity["seed"] == 0
+        assert identity["scale"] == 0.25
+
+
+class TestFinish:
+    def test_absorbs_collector_aggregates(self):
+        manifest = _begin()
+        with collecting() as collector:
+            with span("phase.a"):
+                counter("items", 4)
+            with span("phase.a"):
+                pass
+            with span("phase.b"):
+                gauge("level", 9.0)
+        manifest.finish(collector)
+        by_name = {entry["name"]: entry for entry in manifest.phases}
+        assert by_name["phase.a"]["count"] == 2
+        assert by_name["phase.b"]["count"] == 1
+        assert by_name["phase.a"]["total_seconds"] >= 0.0
+        assert manifest.counters == {"items": 4.0}
+        assert manifest.gauges == {"level": 9.0}
+        assert manifest.finished_at is not None
+
+    def test_finish_without_collector(self):
+        manifest = _begin().finish()
+        assert manifest.phases == []
+        assert manifest.finished_at is not None
+
+
+class TestFile:
+    def test_write_produces_valid_json(self, tmp_path):
+        target = tmp_path / "deep" / "manifest.json"
+        manifest = _begin().finish()
+        written = manifest.write(target)
+        payload = json.loads(written.read_text())
+        for key in (
+            "command", "experiment", "scale", "seed", "version", "python",
+            "platform", "fingerprint", "started_at", "finished_at",
+            "phases", "counters", "gauges",
+        ):
+            assert key in payload, key
+        assert payload["experiment"] == "table3"
+        assert payload["fingerprint"] == manifest.fingerprint()
+
+
+class TestVersion:
+    def test_describe_version_nonempty(self):
+        version = describe_version()
+        assert isinstance(version, str)
+        assert version

@@ -1,0 +1,85 @@
+"""JSONL sink: every line parses, schema round-trips, values coerce."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.obs import JsonlSink, collecting, counter, gauge, span
+
+
+def read_events(path):
+    with open(path, encoding="utf-8") as stream:
+        return [json.loads(line) for line in stream]
+
+
+class TestJsonlRoundTrip:
+    def test_every_line_parses_and_pairs(self, tmp_path):
+        trace_file = tmp_path / "trace.jsonl"
+        with collecting(sink=JsonlSink(trace_file)) as collector:
+            with span("outer", alias="hcr"):
+                counter("frames", 40)
+                with span("inner"):
+                    gauge("cycles", 1.5e9)
+        collector.close()
+
+        events = read_events(trace_file)
+        types = [event["type"] for event in events]
+        assert types == [
+            "span_start", "counter", "span_start", "gauge",
+            "span_end", "span_end",
+        ]
+        starts = {e["span_id"] for e in events if e["type"] == "span_start"}
+        ends = {e["span_id"] for e in events if e["type"] == "span_end"}
+        assert starts == ends
+
+    def test_span_end_carries_aggregates(self, tmp_path):
+        trace_file = tmp_path / "trace.jsonl"
+        with collecting(sink=JsonlSink(trace_file)) as collector:
+            with span("work"):
+                counter("items", 7)
+                gauge("level", 3.0)
+        collector.close()
+
+        end = [e for e in read_events(trace_file) if e["type"] == "span_end"][0]
+        assert end["name"] == "work"
+        assert end["counters"] == {"items": 7.0}
+        assert end["gauges"] == {"level": 3.0}
+        assert end["elapsed_seconds"] >= 0.0
+
+    def test_counter_events_carry_running_total(self, tmp_path):
+        trace_file = tmp_path / "trace.jsonl"
+        with collecting(sink=JsonlSink(trace_file)) as collector:
+            counter("n", 1)
+            counter("n", 2)
+        collector.close()
+        totals = [
+            e["total"] for e in read_events(trace_file) if e["type"] == "counter"
+        ]
+        assert totals == [1.0, 3.0]
+
+    def test_numpy_values_serialize(self, tmp_path):
+        trace_file = tmp_path / "trace.jsonl"
+        with collecting(sink=JsonlSink(trace_file)) as collector:
+            with span("np", width=np.int64(3)):
+                gauge("value", np.float64(2.5))
+        collector.close()
+        events = read_events(trace_file)  # raises if any line is invalid
+        assert any(e["type"] == "gauge" and e["value"] == 2.5 for e in events)
+
+    def test_close_is_idempotent_and_silences_emit(self, tmp_path):
+        sink = JsonlSink(tmp_path / "trace.jsonl")
+        sink.emit({"type": "counter", "name": "x"})
+        sink.close()
+        sink.close()
+        sink.emit({"type": "counter", "name": "late"})  # dropped, no error
+        events = read_events(tmp_path / "trace.jsonl")
+        assert [e["name"] for e in events] == ["x"]
+
+    def test_creates_parent_directories(self, tmp_path):
+        nested = tmp_path / "a" / "b" / "trace.jsonl"
+        sink = JsonlSink(nested)
+        sink.emit({"type": "gauge", "name": "x", "value": 1.0})
+        sink.close()
+        assert nested.exists()

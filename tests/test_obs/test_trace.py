@@ -1,0 +1,155 @@
+"""Span nesting, timing monotonicity, counters/gauges, threading."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import (
+    Collector,
+    collecting,
+    counter,
+    gauge,
+    get_collector,
+    set_collector,
+    span,
+)
+
+
+class TestSpanNesting:
+    def test_parent_child_structure(self):
+        with collecting() as collector:
+            with span("outer", alias="bbr1"):
+                with span("inner"):
+                    pass
+                with span("inner"):
+                    pass
+        assert [root.name for root in collector.roots] == ["outer"]
+        outer = collector.roots[0]
+        assert [child.name for child in outer.children] == ["inner", "inner"]
+        assert all(c.parent_id == outer.span_id for c in outer.children)
+        assert outer.attrs == {"alias": "bbr1"}
+
+    def test_completion_order(self):
+        with collecting() as collector:
+            with span("a"):
+                with span("b"):
+                    pass
+        # Inner spans complete (and are recorded) before outer ones.
+        assert [record.name for record in collector.spans] == ["b", "a"]
+
+    def test_span_ids_unique_and_increasing(self):
+        with collecting() as collector:
+            for _ in range(5):
+                with span("x"):
+                    pass
+        ids = [record.span_id for record in collector.spans]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+
+    def test_sibling_roots(self):
+        with collecting() as collector:
+            with span("first"):
+                pass
+            with span("second"):
+                pass
+        assert [root.name for root in collector.roots] == ["first", "second"]
+
+
+class TestTiming:
+    def test_elapsed_monotone_and_nested_bound(self):
+        with collecting() as collector:
+            with span("outer"):
+                with span("inner"):
+                    time.sleep(0.01)
+        outer = collector.roots[0]
+        inner = outer.children[0]
+        assert inner.elapsed_seconds >= 0.01
+        assert outer.elapsed_seconds >= inner.elapsed_seconds
+        assert outer.ended is not None and outer.ended >= outer.started
+
+    def test_self_seconds(self):
+        with collecting() as collector:
+            with span("outer"):
+                with span("inner"):
+                    time.sleep(0.01)
+        outer = collector.roots[0]
+        assert 0.0 <= outer.self_seconds <= outer.elapsed_seconds
+
+    def test_disabled_span_still_times(self):
+        assert get_collector() is None
+        with span("free") as record:
+            time.sleep(0.005)
+        assert record.elapsed_seconds >= 0.005
+        assert record.ended is not None
+
+    def test_open_span_reports_running_elapsed(self):
+        with span("running") as record:
+            first = record.elapsed_seconds
+            second = record.elapsed_seconds
+            assert second >= first >= 0.0
+
+
+class TestCountersAndGauges:
+    def test_disabled_noops(self):
+        assert get_collector() is None
+        assert counter("nope", 3) is None
+        assert gauge("nope", 1.0) is None
+
+    def test_counter_totals_and_span_attribution(self):
+        with collecting() as collector:
+            with span("work"):
+                counter("items", 2)
+                counter("items", 3)
+            counter("items", 5)  # outside any span: global only
+        assert collector.counters["items"] == 10.0
+        assert collector.roots[0].counters["items"] == 5.0
+
+    def test_gauge_last_value_wins(self):
+        with collecting() as collector:
+            gauge("temperature", 1.0)
+            gauge("temperature", 42.0)
+        assert collector.gauges["temperature"] == 42.0
+
+    def test_counter_aggregates_across_threads(self):
+        threads = 8
+        increments = 200
+        with collecting() as collector:
+            def work():
+                with span("worker"):
+                    for _ in range(increments):
+                        collector.add_counter("ticks", 1)
+
+            workers = [threading.Thread(target=work) for _ in range(threads)]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join()
+        assert collector.counters["ticks"] == float(threads * increments)
+        # Each thread has its own span stack, so every worker span is a
+        # root of its own tree with its own attribution.
+        worker_roots = [r for r in collector.roots if r.name == "worker"]
+        assert len(worker_roots) == threads
+        assert all(r.counters["ticks"] == increments for r in worker_roots)
+
+
+class TestCollectorInstallation:
+    def test_collecting_restores_previous(self):
+        outer = Collector()
+        set_collector(outer)
+        try:
+            with collecting() as inner:
+                assert get_collector() is inner
+            assert get_collector() is outer
+        finally:
+            set_collector(None)
+
+    def test_exception_still_closes_span(self):
+        with collecting() as collector:
+            with pytest.raises(ValueError):
+                with span("doomed"):
+                    raise ValueError("boom")
+        assert [record.name for record in collector.spans] == ["doomed"]
+        assert collector.spans[0].ended is not None
