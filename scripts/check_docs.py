@@ -1,100 +1,36 @@
-"""Docs lint: public API coverage and code-fence validity.
+"""DEPRECATED shim — the docs lint moved into ``megsim lint``.
 
-Checks, without importing the package (pure ``ast``):
+The checks this script used to perform (public-API doc coverage, python
+code-fence validity) are now lint rules MEG007/MEG008/MEG009 in
+:mod:`repro.lint`; see ``docs/linting.md``.  This shim prints a
+deprecation pointer and delegates to those rules so existing automation
+keeps working, but will be removed in a future PR — switch to::
 
-1. every name in the ``__all__`` of ``repro/__init__.py`` and
-   ``repro/obs/__init__.py`` is mentioned in ``docs/api.md`` — an export
-   that the API reference does not document fails the build;
-2. every ```` ```python ```` code fence in ``docs/*.md`` and ``README.md``
-   is syntactically valid Python.
-
-Run:  python scripts/check_docs.py        (exit code 0 = clean)
-
-The lint is also wired into the test suite
-(``tests/test_obs/test_check_docs.py``) so it runs on every ``pytest``.
+    megsim lint                # or: python -m repro.lint
 """
 
 from __future__ import annotations
 
-import ast
-import re
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-API_DOC = REPO_ROOT / "docs" / "api.md"
-#: Modules whose ``__all__`` must be fully covered by docs/api.md.
-PUBLIC_MODULES = {
-    "repro": REPO_ROOT / "src" / "repro" / "__init__.py",
-    "repro.obs": REPO_ROOT / "src" / "repro" / "obs" / "__init__.py",
-}
 
-_FENCE = re.compile(r"```python[ \t]*\n(.*?)```", re.DOTALL)
-
-
-def exported_names(module_path: Path) -> list[str]:
-    """The literal ``__all__`` of a module, read via ``ast``."""
-    tree = ast.parse(module_path.read_text(), filename=str(module_path))
-    for node in tree.body:
-        if isinstance(node, ast.Assign):
-            targets = [
-                t.id for t in node.targets if isinstance(t, ast.Name)
-            ]
-            if "__all__" in targets:
-                names = ast.literal_eval(node.value)
-                return [str(name) for name in names]
-    raise ValueError(f"{module_path}: no literal __all__ found")
-
-
-def python_fences(text: str) -> list[str]:
-    """The bodies of all ```` ```python ```` fences in ``text``."""
-    return _FENCE.findall(text)
-
-
-def doc_pages() -> list[Path]:
-    """Every markdown page the fence check covers."""
-    return sorted((REPO_ROOT / "docs").glob("*.md")) + [REPO_ROOT / "README.md"]
-
-
-def collect_failures() -> list[str]:
-    """All lint failures, as human-readable one-liners."""
-    failures: list[str] = []
-
-    api_text = API_DOC.read_text()
-    for module, path in PUBLIC_MODULES.items():
-        for name in exported_names(path):
-            if name not in api_text:
-                failures.append(
-                    f"{module}.{name} is exported ({path.relative_to(REPO_ROOT)}"
-                    f" __all__) but never mentioned in docs/api.md"
-                )
-
-    for page in doc_pages():
-        for index, code in enumerate(python_fences(page.read_text()), 1):
-            try:
-                compile(code, f"{page.name}#fence{index}", "exec")
-            except SyntaxError as exc:
-                failures.append(
-                    f"{page.relative_to(REPO_ROOT)} python fence #{index} "
-                    f"does not parse: {exc}"
-                )
-    return failures
+#: Rules that subsume the old check_docs behaviour.
+DOC_RULES = "MEG007,MEG008,MEG009"
 
 
 def main() -> int:
-    failures = collect_failures()
-    for failure in failures:
-        print(f"check_docs: {failure}")
-    if failures:
-        print(f"check_docs: FAILED with {len(failures)} problem(s)")
-        return 1
-    names = sum(len(exported_names(p)) for p in PUBLIC_MODULES.values())
-    fences = sum(len(python_fences(p.read_text())) for p in doc_pages())
     print(
-        f"check_docs: OK ({names} exported names documented, "
-        f"{fences} python fences parsed)"
+        "check_docs.py is DEPRECATED: the docs lint now lives in "
+        f"`megsim lint` (rules {DOC_RULES}; see docs/linting.md). "
+        "Running those rules via python -m repro.lint ...",
+        file=sys.stderr,
     )
-    return 0
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.lint.engine import main as lint_main
+
+    return lint_main(["--root", str(REPO_ROOT), "--select", DOC_RULES])
 
 
 if __name__ == "__main__":

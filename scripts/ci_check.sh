@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# The pre-merge gate (documented in README.md): static analysis first,
+# then the tier-1 test suite.  Any non-zero exit fails the gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== megsim lint =="
+python -m repro.lint --root .
+
+echo "== tier-1 tests =="
+python -m pytest -x -q

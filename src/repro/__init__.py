@@ -24,6 +24,7 @@ from repro.errors import (
     AnalysisError,
     ClusteringError,
     ConfigError,
+    GeometryError,
     ReproError,
     SimulationError,
     TraceError,
@@ -68,6 +69,7 @@ __all__ = [
     "ReproError",
     "ConfigError",
     "TraceError",
+    "GeometryError",
     "SimulationError",
     "ClusteringError",
     "AnalysisError",

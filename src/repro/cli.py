@@ -7,6 +7,7 @@ Examples::
     megsim run fig7 --scale 1.0       # full-length Figure 7
     megsim plan bbr1 --scale 0.2      # show a sampling plan
     megsim all --scale 0.25           # every experiment, in paper order
+    megsim lint                       # static analysis (docs/linting.md)
 
 Observability (see ``docs/observability.md``): every command accepts
 ``--trace out.jsonl`` (stream span/counter/gauge events as JSON Lines,
@@ -21,12 +22,19 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-import time
 from pathlib import Path
 
 from repro.analysis.experiments import EXPERIMENTS, run_experiment
 from repro.core.sampler import MEGsim, MEGsimOptions
-from repro.obs import Collector, JsonlSink, RunManifest, render_report, set_collector, span
+from repro.obs import (
+    Collector,
+    JsonlSink,
+    RunManifest,
+    render_report,
+    set_collector,
+    span,
+    wall_clock,
+)
 from repro.workloads.benchmarks import benchmark_aliases, make_benchmark
 
 
@@ -106,6 +114,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale(trace)
     _add_obs(trace)
 
+    lint = commands.add_parser(
+        "lint", help="static analysis: determinism/layering/doc invariants"
+    )
+    lint.add_argument("--root", default=".",
+                      help="project root containing pyproject.toml")
+    lint.add_argument("--format", dest="lint_format",
+                      choices=("text", "json"), default="text",
+                      help="report format; json is sorted and machine-stable")
+    lint.add_argument("--select", default="",
+                      help="comma-separated rule ids to run (default: all)")
+    lint.add_argument("--disable", default="",
+                      help="comma-separated rule ids to skip")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore the baseline suppression file")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="suppress every current finding in the baseline")
+    lint.add_argument("--strict", action="store_true",
+                      help="exit non-zero on warnings too")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
+
     return parser
 
 
@@ -141,7 +170,7 @@ def main(argv: list[str] | None = None) -> int:
         if sink is not None:
             sink.emit({
                 "type": "manifest",
-                "ts": time.time(),
+                "ts": wall_clock(),
                 "manifest": manifest.to_dict(),
             })
         collector.close()
@@ -159,6 +188,19 @@ def _dispatch(args: argparse.Namespace) -> int:
         print("experiments:", ", ".join(EXPERIMENTS))
         print("benchmarks:", ", ".join(benchmark_aliases()))
         return 0
+
+    if args.command == "lint":
+        from repro.lint.engine import main as lint_main
+
+        argv = ["--root", args.root, "--format", args.lint_format]
+        if args.select:
+            argv += ["--select", args.select]
+        if args.disable:
+            argv += ["--disable", args.disable]
+        for flag in ("no_baseline", "write_baseline", "strict", "list_rules"):
+            if getattr(args, flag):
+                argv.append("--" + flag.replace("_", "-"))
+        return lint_main(argv)
 
     if args.command == "run":
         kwargs = {} if args.experiment == "table1" else {"scale": args.scale}

@@ -20,6 +20,16 @@ class TraceError(ReproError):
     """A workload trace is malformed or inconsistent."""
 
 
+class GeometryError(ReproError, ZeroDivisionError):
+    """A geometric operation is undefined for its input.
+
+    Also derives from :class:`ZeroDivisionError` because the canonical
+    instance — normalizing a zero-length vector — historically raised
+    that builtin; existing ``except ZeroDivisionError`` callers keep
+    working while new code catches :class:`ReproError`.
+    """
+
+
 class SimulationError(ReproError):
     """The functional or cycle-accurate simulator reached an invalid state."""
 

@@ -1,0 +1,42 @@
+"""Static analysis for the MEGsim codebase: ``megsim lint``.
+
+An ``ast``-based rule engine enforcing the invariants the pipeline's
+trustworthiness rests on — seeded randomness, no wall-clock reads in
+simulation paths, the package layering DAG, exception hygiene, and
+docs that match the code.  Rule catalog and workflow: ``docs/linting.md``.
+
+Quickstart::
+
+    from repro.lint import load_config, run_lint
+
+    result = run_lint(load_config("."))
+    for finding in result.findings:
+        print(finding.render())
+
+Command line: ``megsim lint`` or ``python -m repro.lint``
+(``--format json`` for the machine-stable report, ``--list-rules`` for
+the catalog, ``--write-baseline`` to grandfather existing findings).
+"""
+
+from repro.lint.baseline import load_baseline, write_baseline
+from repro.lint.config import LintConfig, load_config
+from repro.lint.engine import LintResult, run_lint, select_rules
+from repro.lint.findings import Finding, Severity
+from repro.lint.reporters import render_json, render_text
+from repro.lint.rules import ALL_RULES, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "Rule",
+    "Severity",
+    "load_baseline",
+    "load_config",
+    "render_json",
+    "render_text",
+    "run_lint",
+    "select_rules",
+    "write_baseline",
+]

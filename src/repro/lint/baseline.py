@@ -1,0 +1,74 @@
+"""The suppression baseline: grandfathered findings, one per line.
+
+Format (text, diff-friendly, comments mandatory in spirit)::
+
+    # lint-baseline.txt — suppressed findings, one key per line.
+    MEG002:src/repro/legacy.py:wall-clock read time.time() ...  # why
+
+A key is :attr:`repro.lint.findings.Finding.baseline_key`
+(``rule_id:path:message`` — no line number, so unrelated edits do not
+resurface an entry).  ``python -m repro.lint --write-baseline``
+regenerates the file from the current findings; entries that no longer
+match anything are reported as stale so the baseline only ever shrinks.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint.findings import Finding
+
+_HEADER = (
+    "# megsim lint baseline — grandfathered findings, one key per line.\n"
+    "# Key format: RULE:path:message   (append `# reason` to each entry).\n"
+    "# Regenerate with: python -m repro.lint --write-baseline\n"
+)
+
+
+def load_baseline(path: Path) -> set[str]:
+    """The set of suppressed baseline keys (missing file = empty set)."""
+    if not path.is_file():
+        return set()
+    keys: set[str] = set()
+    for raw in path.read_text().splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        # Strip a trailing `  # reason` comment; the message itself may
+        # legitimately contain `#` only when not preceded by whitespace.
+        key, _, _ = line.partition("  #")
+        keys.add(key.rstrip())
+    return keys
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> int:
+    """Write a fresh baseline holding every given finding; returns count."""
+    keys = sorted({finding.baseline_key for finding in findings})
+    lines = [_HEADER]
+    lines += [f"{key}  # TODO: justify or fix\n" for key in keys]
+    path.write_text("".join(lines))
+    return len(keys)
+
+
+def split_findings(
+    findings: list[Finding], suppressed: set[str]
+) -> tuple[list[Finding], list[Finding], list[str]]:
+    """Partition findings against the baseline.
+
+    Returns ``(active, baselined, stale_keys)``: findings that count
+    toward the exit code, findings silenced by the baseline, and
+    baseline entries that matched nothing (to be pruned).
+    """
+    active: list[Finding] = []
+    baselined: list[Finding] = []
+    matched: set[str] = set()
+    for finding in findings:
+        key = finding.baseline_key
+        if key in suppressed:
+            matched.add(key)
+            baselined.append(finding)
+        else:
+            active.append(finding)
+    stale = sorted(suppressed - matched)
+    return active, baselined, stale

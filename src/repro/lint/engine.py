@@ -1,0 +1,199 @@
+"""The lint engine: load project, run rules, apply baseline, report.
+
+``run_lint`` is the library entry point (used by the CLI, the test
+suite and the retired ``scripts/check_docs.py`` shim); ``main`` is the
+``python -m repro.lint`` / ``megsim lint`` command-line front end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.lint.baseline import load_baseline, split_findings, write_baseline
+from repro.lint.config import LintConfig, load_config
+from repro.lint.findings import Finding, Severity
+from repro.lint.project import load_project
+from repro.lint.reporters import render_json, render_text, sorted_findings
+from repro.lint.rules import ALL_RULES, Rule
+
+#: Rule id reserved for files the engine could not parse.
+PARSE_RULE_ID = "MEG000"
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run.
+
+    Attributes:
+        findings: active findings (not suppressed by the baseline).
+        baselined: findings silenced by the baseline file.
+        stale_keys: baseline entries that matched nothing this run.
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale_keys: list[str] = field(default_factory=list)
+
+    @property
+    def error_count(self) -> int:
+        return sum(
+            1 for f in self.findings if f.severity is Severity.ERROR
+        )
+
+    def exit_code(self, strict: bool = False) -> int:
+        """0 = clean; 1 = findings (errors, or anything under --strict)."""
+        if self.error_count or (strict and self.findings):
+            return 1
+        return 0
+
+
+def select_rules(
+    select: tuple[str, ...] = (),
+    disable: tuple[str, ...] = (),
+) -> tuple[Rule, ...]:
+    """The subset of :data:`ALL_RULES` a run executes.
+
+    ``select`` keeps only the named rule ids (empty = all); ``disable``
+    then removes ids.  Unknown ids raise :class:`ConfigError` so typos
+    fail loudly.
+    """
+    known = {rule.rule_id for rule in ALL_RULES}
+    for rule_id in (*select, *disable):
+        if rule_id not in known:
+            raise ConfigError(
+                f"unknown lint rule id {rule_id!r}; known: {sorted(known)}"
+            )
+    rules = tuple(
+        rule
+        for rule in ALL_RULES
+        if (not select or rule.rule_id in select)
+        and rule.rule_id not in disable
+    )
+    return rules
+
+
+def run_lint(
+    config: LintConfig,
+    select: tuple[str, ...] = (),
+    disable: tuple[str, ...] = (),
+    baseline: bool = True,
+) -> LintResult:
+    """Execute the configured rules over ``config.root``."""
+    project = load_project(config)
+    findings: list[Finding] = [
+        Finding(
+            path=source.relpath,
+            line=0,
+            rule_id=PARSE_RULE_ID,
+            message=f"file does not parse: {source.error}",
+        )
+        for source in project.files
+        if source.error is not None
+    ]
+    for rule in select_rules(select, tuple(disable) + tuple(config.disable)):
+        findings.extend(rule.check(project))
+    findings = sorted_findings(findings)
+
+    suppressed = load_baseline(config.baseline_path) if baseline else set()
+    active, baselined, stale = split_findings(findings, suppressed)
+    return LintResult(findings=active, baselined=baselined, stale_keys=stale)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="megsim lint",
+        description=(
+            "AST-based static analysis enforcing the project's "
+            "determinism, layering and documentation invariants "
+            "(docs/linting.md)"
+        ),
+    )
+    parser.add_argument(
+        "--root", default=".",
+        help="project root containing pyproject.toml (default: cwd)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format; json is sorted and machine-stable",
+    )
+    parser.add_argument(
+        "--select", default="",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--disable", default="",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline file (report grandfathered findings too)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline to suppress every current finding",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on warnings as well as errors",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _split_ids(raw: str) -> tuple[str, ...]:
+    return tuple(part.strip() for part in raw.split(",") if part.strip())
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id}  {rule.name:16s} {rule.summary}")
+        return 0
+
+    try:
+        config = load_config(Path(args.root))
+        result = run_lint(
+            config,
+            select=_split_ids(args.select),
+            disable=_split_ids(args.disable),
+            baseline=not (args.no_baseline or args.write_baseline),
+        )
+    except ConfigError as exc:
+        print(f"megsim lint: configuration error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        count = write_baseline(config.baseline_path, result.findings)
+        print(
+            f"megsim lint: wrote {count} suppression(s) to "
+            f"{config.baseline}"
+        )
+        return 0
+
+    if args.format == "json":
+        sys.stdout.write(
+            render_json(
+                result.findings, len(result.baselined), result.stale_keys
+            )
+        )
+    else:
+        print(
+            render_text(
+                result.findings, len(result.baselined), result.stale_keys
+            )
+        )
+    return result.exit_code(strict=args.strict)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

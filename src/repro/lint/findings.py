@@ -1,0 +1,74 @@
+"""The currency of the linter: one :class:`Finding` per rule violation.
+
+A finding pins a rule violation to a file and line so it can be printed,
+serialized, sorted deterministically and matched against the baseline
+file.  Everything downstream of the rules (reporters, baseline,
+exit-code logic) traffics only in findings — rules never print.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings fail the lint (non-zero exit); ``WARNING``
+    findings are reported but do not affect the exit code unless
+    ``--strict`` promotes them.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one location.
+
+    Attributes:
+        path: path relative to the project root, POSIX separators (the
+            key requirement for machine-stable JSON output across hosts).
+        line: 1-based line number; 0 for whole-file/project findings.
+        rule_id: stable identifier, e.g. ``"MEG003"``.
+        message: human-readable, single-line description.
+        severity: :class:`Severity` of the violation.
+    """
+
+    path: str
+    line: int
+    rule_id: str
+    message: str
+    severity: Severity = Severity.ERROR
+
+    @property
+    def baseline_key(self) -> str:
+        """The identity used by the suppression baseline.
+
+        Deliberately excludes the line number: baselined findings should
+        not resurface because unrelated edits shifted the file, so the
+        key is ``rule_id:path:message``.
+        """
+        return f"{self.rule_id}:{self.path}:{self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON-stable representation (used by the JSON reporter)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """The text-reporter line: ``path:line: MEGnnn [severity] message``."""
+        return (
+            f"{self.path}:{self.line}: {self.rule_id} "
+            f"[{self.severity.value}] {self.message}"
+        )

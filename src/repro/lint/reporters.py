@@ -1,0 +1,62 @@
+"""Finding reporters: human text and machine-stable JSON.
+
+The JSON document is the CI contract: findings are sorted
+(path, line, rule, message), paths are root-relative POSIX, and the
+schema is versioned — two lint runs over identical trees produce
+byte-identical output, so future CI can diff lint output across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.findings import Finding, Severity
+
+#: Bumped whenever a field is added/renamed/removed.
+JSON_SCHEMA_VERSION = 1
+
+
+def sorted_findings(findings: list[Finding]) -> list[Finding]:
+    """The canonical reporting order (Finding is an ordered dataclass)."""
+    return sorted(findings)
+
+
+def render_text(
+    findings: list[Finding],
+    baselined: int = 0,
+    stale: list[str] | None = None,
+) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [finding.render() for finding in sorted_findings(findings)]
+    errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+    warnings = len(findings) - errors
+    summary = f"megsim lint: {errors} error(s), {warnings} warning(s)"
+    if baselined:
+        summary += f", {baselined} baselined"
+    lines.append(summary if findings or baselined else "megsim lint: clean")
+    for key in stale or []:
+        lines.append(f"megsim lint: stale baseline entry (prune it): {key}")
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: list[Finding],
+    baselined: int = 0,
+    stale: list[str] | None = None,
+) -> str:
+    """Machine-stable JSON report (sorted, versioned, newline-terminated)."""
+    document = {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "findings": [f.to_dict() for f in sorted_findings(findings)],
+        "summary": {
+            "errors": sum(
+                1 for f in findings if f.severity is Severity.ERROR
+            ),
+            "warnings": sum(
+                1 for f in findings if f.severity is Severity.WARNING
+            ),
+            "baselined": baselined,
+            "stale_baseline_keys": sorted(stale or []),
+        },
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

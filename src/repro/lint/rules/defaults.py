@@ -1,0 +1,57 @@
+"""MEG006: no mutable default arguments.
+
+A ``def f(x=[])`` default is evaluated once and shared across calls —
+state leaks between invocations, which is exactly the class of hidden
+coupling a deterministic pipeline cannot afford.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.project import Project, SourceFile
+from repro.lint.rules.base import FileVisitorRule, FindingCollector
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "deque"}
+
+
+def _is_mutable(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CALLS
+    return False
+
+
+class _DefaultsVisitor(FindingCollector):
+    def _check(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        defaults = list(node.args.defaults) + [
+            default for default in node.args.kw_defaults if default is not None
+        ]
+        for default in defaults:
+            if _is_mutable(default):
+                self.report(
+                    default,
+                    f"mutable default argument in {node.name}(); the value "
+                    "is shared across calls — default to None and create "
+                    "inside the body",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check(node)
+        self.generic_visit(node)
+
+
+class MutableDefaultRule(FileVisitorRule):
+    """MEG006: default argument values must be immutable."""
+
+    rule_id = "MEG006"
+    name = "mutable-default"
+    summary = "no mutable default argument values"
+
+    def visitor(self, project: Project, source: SourceFile) -> FindingCollector:
+        return _DefaultsVisitor(self, source)

@@ -1,0 +1,131 @@
+"""Determinism rules: seeded randomness (MEG001), no wall-clock (MEG002).
+
+The paper's accuracy claims — and every run-manifest fingerprint — rest
+on bit-reproducible pipelines: clustering must flow all randomness
+through explicitly seeded generators, and simulation results must never
+depend on when they ran.  These rules make both invariants mechanical.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.project import Project, SourceFile
+from repro.lint.rules.base import (
+    FileVisitorRule,
+    FindingCollector,
+    ImportTable,
+    dotted_name,
+)
+
+#: numpy.random entry points that are fine *when given a seed argument*.
+_SEEDABLE_NUMPY = {"default_rng", "Generator", "RandomState", "SeedSequence"}
+
+#: Wall-clock reads, canonical dotted names after alias resolution.
+_WALL_CLOCK = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.clock_gettime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+
+class _RandomVisitor(FindingCollector):
+    def __init__(self, rule, source: SourceFile) -> None:
+        super().__init__(rule, source)
+        self.imports = ImportTable(source.tree)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self.imports.resolve(dotted_name(node.func))
+        if resolved is not None:
+            self._check_stdlib(node, resolved)
+            self._check_numpy(node, resolved)
+        self.generic_visit(node)
+
+    def _check_stdlib(self, node: ast.Call, resolved: str) -> None:
+        if resolved == "random" or not resolved.startswith("random."):
+            return
+        attr = resolved.split(".", 1)[1]
+        if attr == "Random" and (node.args or node.keywords):
+            return  # explicit random.Random(seed) instance: the sanctioned path
+        self.report(
+            node,
+            f"call to {resolved}() draws from the shared global RNG; "
+            "thread an explicit random.Random(seed) instance instead",
+        )
+
+    def _check_numpy(self, node: ast.Call, resolved: str) -> None:
+        if not resolved.startswith("numpy.random."):
+            return
+        attr = resolved.rsplit(".", 1)[1]
+        if attr in _SEEDABLE_NUMPY:
+            if node.args or node.keywords:
+                return
+            self.report(
+                node,
+                f"{resolved}() without a seed is entropy-seeded; "
+                "pass an explicit seed",
+            )
+            return
+        self.report(
+            node,
+            f"call to {resolved}() uses numpy's global RNG state; "
+            "use np.random.default_rng(seed) and call methods on it",
+        )
+
+
+class UnseededRandomRule(FileVisitorRule):
+    """MEG001: all randomness must flow through explicitly seeded RNGs."""
+
+    rule_id = "MEG001"
+    name = "unseeded-random"
+    summary = (
+        "no global-state or entropy-seeded RNG use in deterministic "
+        "pipeline packages"
+    )
+
+    def applies_to(self, project: Project, source: SourceFile) -> bool:
+        return source.in_subtree(project.config.determinism_paths)
+
+    def visitor(self, project: Project, source: SourceFile) -> FindingCollector:
+        return _RandomVisitor(self, source)
+
+
+class _WallClockVisitor(FindingCollector):
+    def __init__(self, rule, source: SourceFile) -> None:
+        super().__init__(rule, source)
+        self.imports = ImportTable(source.tree)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self.imports.resolve(dotted_name(node.func))
+        if resolved in _WALL_CLOCK:
+            self.report(
+                node,
+                f"wall-clock read {resolved}() outside repro.obs; timing "
+                "belongs to the observability layer (repro.obs.span / "
+                "repro.obs.wall_clock)",
+            )
+        self.generic_visit(node)
+
+
+class WallClockRule(FileVisitorRule):
+    """MEG002: wall-clock reads are confined to the observability layer."""
+
+    rule_id = "MEG002"
+    name = "wall-clock"
+    summary = "time.*/datetime.now reads forbidden outside repro.obs"
+
+    def applies_to(self, project: Project, source: SourceFile) -> bool:
+        return not source.in_subtree(project.config.wallclock_allowed)
+
+    def visitor(self, project: Project, source: SourceFile) -> FindingCollector:
+        return _WallClockVisitor(self, source)

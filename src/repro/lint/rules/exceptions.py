@@ -1,0 +1,87 @@
+"""Exception hygiene: no bare ``except:`` (MEG004), library errors must
+derive from ``repro.errors`` (MEG005).
+
+A bare ``except:`` swallows ``KeyboardInterrupt``/``SystemExit`` and
+hides simulator bugs as silently-wrong results.  Raising builtin
+exceptions from library code breaks the one-base-class contract that
+lets callers catch :class:`repro.errors.ReproError` at an API boundary.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+
+from repro.lint.project import Project, SourceFile
+from repro.lint.rules.base import FileVisitorRule, FindingCollector
+
+#: Every builtin exception type name (``ValueError``, ``OSError``...).
+BUILTIN_EXCEPTIONS = frozenset(
+    name
+    for name, obj in vars(builtins).items()
+    if isinstance(obj, type) and issubclass(obj, BaseException)
+)
+
+
+class _BareExceptVisitor(FindingCollector):
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(
+                node,
+                "bare `except:` catches SystemExit/KeyboardInterrupt; "
+                "name the exception types (or `except Exception:` at the "
+                "outermost boundary)",
+            )
+        self.generic_visit(node)
+
+
+class BareExceptRule(FileVisitorRule):
+    """MEG004: every handler names what it catches."""
+
+    rule_id = "MEG004"
+    name = "bare-except"
+    summary = "no bare `except:` clauses"
+
+    def visitor(self, project: Project, source: SourceFile) -> FindingCollector:
+        return _BareExceptVisitor(self, source)
+
+
+class _RaiseVisitor(FindingCollector):
+    def __init__(self, rule, source: SourceFile, allowed: frozenset[str]) -> None:
+        super().__init__(rule, source)
+        self.allowed = allowed
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        name = self._raised_name(node.exc)
+        if (
+            name is not None
+            and name in BUILTIN_EXCEPTIONS
+            and name not in self.allowed
+        ):
+            self.report(
+                node,
+                f"raises builtin {name}; library errors must derive from "
+                "repro.errors.ReproError so callers can catch one base "
+                "class",
+            )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _raised_name(exc: ast.expr | None) -> str | None:
+        """The bare class name raised, for `raise X` / `raise X(...)`."""
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        return exc.id if isinstance(exc, ast.Name) else None
+
+
+class ForeignRaiseRule(FileVisitorRule):
+    """MEG005: raised errors derive from the ``repro.errors`` hierarchy."""
+
+    rule_id = "MEG005"
+    name = "foreign-raise"
+    summary = "no raising builtin exceptions from library code"
+
+    def visitor(self, project: Project, source: SourceFile) -> FindingCollector:
+        return _RaiseVisitor(
+            self, source, frozenset(project.config.raise_allowed)
+        )

@@ -1,0 +1,105 @@
+"""MEG009: ``__all__`` names must actually exist.
+
+Every name a module lists in ``__all__`` must be bound at module level —
+imported, assigned, or defined — so ``from package import *`` and the
+doc-coverage rule (MEG007) never chase phantom exports.  The check is
+static: module-level bindings are collected from the AST, including
+inside ``if``/``try`` blocks (conditional imports still bind the name).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.project import Project, SourceFile
+from repro.lint.rules.docs import exported_names
+
+
+def module_bindings(tree: ast.Module) -> set[str]:
+    """Every name bound at module level (descending into if/try/with)."""
+    bound: set[str] = set()
+
+    def scan(statements: list[ast.stmt]) -> None:
+        for node in statements:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                bound.add(node.name)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound.add(alias.asname or alias.name)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    for leaf in ast.walk(target):
+                        if isinstance(leaf, ast.Name):
+                            bound.add(leaf.id)
+            elif isinstance(node, (ast.If, ast.Try)):
+                scan(node.body)
+                scan(getattr(node, "orelse", []))
+                for handler in getattr(node, "handlers", []):
+                    scan(handler.body)
+                scan(getattr(node, "finalbody", []))
+            elif isinstance(node, (ast.With, ast.For, ast.While)):
+                scan(node.body)
+    scan(tree.body)
+    return bound
+
+
+class DunderAllRule:
+    """MEG009: every ``__all__`` entry is a real module-level binding."""
+
+    rule_id = "MEG009"
+    name = "dunder-all"
+    summary = "__all__ must be a literal list of names the module binds"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for source in project.files:
+            if source.tree is None:
+                continue
+            declared = self._declaration(source)
+            if declared is None:
+                continue
+            line, names = declared
+            if names is None:
+                yield Finding(
+                    path=source.relpath, line=line, rule_id=self.rule_id,
+                    message=(
+                        "__all__ must be a literal list/tuple of strings "
+                        "(static tooling cannot evaluate it otherwise)"
+                    ),
+                )
+                continue
+            bound = module_bindings(source.tree)
+            for name in names:
+                if name not in bound:
+                    yield Finding(
+                        path=source.relpath, line=line, rule_id=self.rule_id,
+                        message=(
+                            f"__all__ lists {name!r} but the module never "
+                            "binds that name"
+                        ),
+                    )
+
+    @staticmethod
+    def _declaration(
+        source: SourceFile,
+    ) -> tuple[int, list[str] | None] | None:
+        """``(line, names)`` of the ``__all__`` assignment, if present."""
+        for node in source.tree.body:
+            if isinstance(node, ast.Assign) and any(
+                isinstance(target, ast.Name) and target.id == "__all__"
+                for target in node.targets
+            ):
+                return node.lineno, exported_names(source)
+        return None

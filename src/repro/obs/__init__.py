@@ -35,6 +35,7 @@ from repro.obs.trace import (
     get_collector,
     set_collector,
     span,
+    wall_clock,
 )
 
 __all__ = [
@@ -50,4 +51,5 @@ __all__ = [
     "render_report",
     "RunManifest",
     "describe_version",
+    "wall_clock",
 ]

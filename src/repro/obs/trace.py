@@ -244,6 +244,17 @@ class Collector:
 _active: Collector | None = None
 
 
+def wall_clock() -> float:
+    """The current wall-clock time as a Unix timestamp.
+
+    The observability layer is the only place allowed to read the wall
+    clock (enforced by ``megsim lint`` rule MEG002); any code that needs
+    a timestamp for an event or report goes through this helper so
+    simulation results can never depend on when they ran.
+    """
+    return time.time()
+
+
 def set_collector(collector: Collector | None) -> Collector | None:
     """Install (or, with ``None``, remove) the active collector."""
     global _active

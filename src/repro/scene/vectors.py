@@ -10,6 +10,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.errors import GeometryError
+
 
 @dataclass(frozen=True, slots=True)
 class Vec3:
@@ -57,11 +59,13 @@ class Vec3:
         """Return a unit-length copy.
 
         Raises:
-            ZeroDivisionError: if the vector has zero length.
+            GeometryError: if the vector has zero length (the error also
+                derives from :class:`ZeroDivisionError` for callers that
+                catch the historical type).
         """
         norm = self.length()
         if norm == 0.0:
-            raise ZeroDivisionError("cannot normalize a zero-length vector")
+            raise GeometryError("cannot normalize a zero-length vector")
         return Vec3(self.x / norm, self.y / norm, self.z / norm)
 
     def lerp(self, other: "Vec3", t: float) -> "Vec3":

@@ -1,0 +1,50 @@
+"""Shared fixtures: build a throwaway project tree and lint it."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, LintResult, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def write_tree(root: Path, files: dict[str, str]) -> None:
+    """Materialize ``relpath -> source`` under ``root`` (dedented)."""
+    for relpath, text in files.items():
+        path = root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text))
+
+
+@pytest.fixture
+def lint_fixture(tmp_path):
+    """Lint a synthetic project: ``lint_fixture(files, select=..., ...)``.
+
+    ``files`` maps root-relative paths to (dedented) file contents;
+    remaining keyword arguments override :class:`LintConfig` fields.
+    Returns the :class:`LintResult`.
+    """
+
+    def run(
+        files: dict[str, str],
+        select: tuple[str, ...] = (),
+        **overrides,
+    ) -> LintResult:
+        write_tree(tmp_path, files)
+        config = LintConfig(root=tmp_path, **overrides)
+        return run_lint(config, select=select)
+
+    run.root = tmp_path
+    return run
+
+
+def rule_ids(result: LintResult) -> list[str]:
+    return [finding.rule_id for finding in result.findings]
+
+
+def messages(result: LintResult) -> str:
+    return "\n".join(finding.render() for finding in result.findings)

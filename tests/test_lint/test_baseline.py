@@ -1,0 +1,89 @@
+"""Baseline suppression: grandfather, match, stale detection."""
+
+from __future__ import annotations
+
+from repro.lint import LintConfig, load_baseline, run_lint, write_baseline
+from repro.lint.engine import main
+from tests.test_lint.conftest import write_tree
+
+VIOLATION = {"src/repro/core/x.py": "def f(x=[]):\n    return x\n"}
+
+
+def _config(root) -> LintConfig:
+    return LintConfig(root=root)
+
+
+class TestBaselineRoundTrip:
+    def test_grandfathered_finding_is_suppressed(self, tmp_path):
+        write_tree(tmp_path, VIOLATION)
+        config = _config(tmp_path)
+
+        first = run_lint(config, select=("MEG006",))
+        assert len(first.findings) == 1
+
+        write_baseline(config.baseline_path, first.findings)
+        second = run_lint(config, select=("MEG006",))
+        assert second.findings == []
+        assert len(second.baselined) == 1
+        assert second.exit_code() == 0
+
+    def test_baseline_survives_line_shifts(self, tmp_path):
+        write_tree(tmp_path, VIOLATION)
+        config = _config(tmp_path)
+        write_baseline(
+            config.baseline_path, run_lint(config, select=("MEG006",)).findings
+        )
+        # Prepend lines: the finding moves but its key does not.
+        target = tmp_path / "src/repro/core/x.py"
+        target.write_text("# comment\n# comment\n" + target.read_text())
+        result = run_lint(config, select=("MEG006",))
+        assert result.findings == []
+        assert len(result.baselined) == 1
+
+    def test_stale_entries_are_reported(self, tmp_path):
+        write_tree(tmp_path, VIOLATION)
+        config = _config(tmp_path)
+        write_baseline(
+            config.baseline_path, run_lint(config, select=("MEG006",)).findings
+        )
+        (tmp_path / "src/repro/core/x.py").write_text(
+            "def f(x=None):\n    return x\n"
+        )
+        result = run_lint(config, select=("MEG006",))
+        assert result.findings == []
+        assert result.baselined == []
+        assert len(result.stale_keys) == 1
+        assert result.stale_keys[0].startswith("MEG006:src/repro/core/x.py:")
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "baseline.txt"
+        path.write_text(
+            "# header comment\n"
+            "\n"
+            "MEG006:src/x.py:some message  # justified because reasons\n"
+        )
+        assert load_baseline(path) == {"MEG006:src/x.py:some message"}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.txt") == set()
+
+
+class TestCommandLineFlags:
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        write_tree(tmp_path, VIOLATION)
+        assert main(
+            ["--root", str(tmp_path), "--select", "MEG006",
+             "--write-baseline"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["--root", str(tmp_path), "--select", "MEG006"]) == 0
+        assert "baselined" in capsys.readouterr().out
+
+    def test_no_baseline_reveals_everything(self, tmp_path, capsys):
+        write_tree(tmp_path, VIOLATION)
+        main(["--root", str(tmp_path), "--select", "MEG006",
+              "--write-baseline"])
+        capsys.readouterr()
+        assert main(
+            ["--root", str(tmp_path), "--select", "MEG006", "--no-baseline"]
+        ) == 1

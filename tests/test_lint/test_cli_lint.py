@@ -1,0 +1,35 @@
+"""`megsim lint` wired through the main CLI (`repro.cli`)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from tests.test_lint.conftest import REPO_ROOT, write_tree
+
+
+class TestMegsimLint:
+    def test_repo_is_clean_via_cli(self, capsys):
+        assert main(["lint", "--root", str(REPO_ROOT)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_json_format_through_cli(self, capsys):
+        assert main(
+            ["lint", "--root", str(REPO_ROOT), "--format", "json"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["findings"] == []
+
+    def test_select_passthrough(self, tmp_path, capsys):
+        write_tree(
+            tmp_path,
+            {"src/repro/core/x.py": "def f(x=[]):\n    return x\n"},
+        )
+        assert main(
+            ["lint", "--root", str(tmp_path), "--select", "MEG006"]
+        ) == 1
+        assert "MEG006" in capsys.readouterr().out
+
+    def test_list_rules_through_cli(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        assert "MEG001" in capsys.readouterr().out

@@ -1,0 +1,47 @@
+"""MEG006: mutable default arguments."""
+
+from __future__ import annotations
+
+from tests.test_lint.conftest import rule_ids
+
+
+class TestMutableDefaults:
+    def test_literal_list_default_flagged(self, lint_fixture):
+        result = lint_fixture(
+            {"src/repro/core/x.py": """\
+                def collect(into=[]):
+                    return into
+            """},
+            select=("MEG006",),
+        )
+        assert rule_ids(result) == ["MEG006"]
+
+    def test_dict_call_default_flagged(self, lint_fixture):
+        result = lint_fixture(
+            {"src/repro/core/x.py": """\
+                def index(cache=dict()):
+                    return cache
+            """},
+            select=("MEG006",),
+        )
+        assert rule_ids(result) == ["MEG006"]
+
+    def test_keyword_only_default_flagged(self, lint_fixture):
+        result = lint_fixture(
+            {"src/repro/core/x.py": """\
+                def tally(*, seen={}):
+                    return seen
+            """},
+            select=("MEG006",),
+        )
+        assert rule_ids(result) == ["MEG006"]
+
+    def test_immutable_defaults_pass(self, lint_fixture):
+        result = lint_fixture(
+            {"src/repro/core/x.py": """\
+                def fine(a=None, b=(), c="x", d=0, e=frozenset()):
+                    return a, b, c, d, e
+            """},
+            select=("MEG006",),
+        )
+        assert result.findings == []

@@ -1,0 +1,161 @@
+"""MEG001 (unseeded randomness) and MEG002 (wall-clock) fixtures."""
+
+from __future__ import annotations
+
+from tests.test_lint.conftest import messages, rule_ids
+
+
+class TestUnseededRandom:
+    def test_stdlib_global_rng_flagged(self, lint_fixture):
+        result = lint_fixture(
+            {"src/repro/core/x.py": """\
+                import random
+
+                def pick(items):
+                    return random.choice(items)
+            """},
+            select=("MEG001",),
+        )
+        assert rule_ids(result) == ["MEG001"]
+        assert "random.choice" in messages(result)
+
+    def test_from_import_alias_flagged(self, lint_fixture):
+        result = lint_fixture(
+            {"src/repro/core/x.py": """\
+                from random import shuffle as mix
+
+                def scramble(items):
+                    mix(items)
+            """},
+            select=("MEG001",),
+        )
+        assert rule_ids(result) == ["MEG001"]
+        assert "random.shuffle" in messages(result)
+
+    def test_module_level_seed_flagged(self, lint_fixture):
+        result = lint_fixture(
+            {"src/repro/gpu/x.py": """\
+                import random
+
+                random.seed(0)
+            """},
+            select=("MEG001",),
+        )
+        assert rule_ids(result) == ["MEG001"]
+
+    def test_numpy_global_state_flagged(self, lint_fixture):
+        result = lint_fixture(
+            {"src/repro/core/x.py": """\
+                import numpy as np
+
+                def noise(n):
+                    return np.random.rand(n)
+            """},
+            select=("MEG001",),
+        )
+        assert rule_ids(result) == ["MEG001"]
+        assert "numpy.random.rand" in messages(result)
+
+    def test_unseeded_default_rng_flagged(self, lint_fixture):
+        result = lint_fixture(
+            {"src/repro/core/x.py": """\
+                import numpy as np
+
+                def rng():
+                    return np.random.default_rng()
+            """},
+            select=("MEG001",),
+        )
+        assert rule_ids(result) == ["MEG001"]
+        assert "without a seed" in messages(result)
+
+    def test_seeded_instances_pass(self, lint_fixture):
+        result = lint_fixture(
+            {"src/repro/core/x.py": """\
+                import random
+
+                import numpy as np
+
+                def rngs(seed):
+                    return random.Random(seed), np.random.default_rng(seed)
+            """},
+            select=("MEG001",),
+        )
+        assert result.findings == []
+
+    def test_outside_determinism_paths_pass(self, lint_fixture):
+        # repro.analysis is not a determinism path: studies may use
+        # whatever randomness they like (they seed for other reasons).
+        result = lint_fixture(
+            {"src/repro/analysis/x.py": """\
+                import random
+
+                def jitter():
+                    return random.random()
+            """},
+            select=("MEG001",),
+        )
+        assert result.findings == []
+
+
+class TestWallClock:
+    def test_time_time_flagged(self, lint_fixture):
+        result = lint_fixture(
+            {"src/repro/core/x.py": """\
+                import time
+
+                def stamp():
+                    return time.time()
+            """},
+            select=("MEG002",),
+        )
+        assert rule_ids(result) == ["MEG002"]
+        assert "repro.obs" in messages(result)
+
+    def test_from_import_perf_counter_flagged(self, lint_fixture):
+        result = lint_fixture(
+            {"src/repro/gpu/x.py": """\
+                from time import perf_counter
+
+                def tick():
+                    return perf_counter()
+            """},
+            select=("MEG002",),
+        )
+        assert rule_ids(result) == ["MEG002"]
+
+    def test_datetime_now_flagged(self, lint_fixture):
+        result = lint_fixture(
+            {"src/repro/cli.py": """\
+                from datetime import datetime
+
+                def today():
+                    return datetime.now()
+            """},
+            select=("MEG002",),
+        )
+        assert rule_ids(result) == ["MEG002"]
+
+    def test_obs_subtree_is_exempt(self, lint_fixture):
+        result = lint_fixture(
+            {"src/repro/obs/x.py": """\
+                import time
+
+                def stamp():
+                    return time.time()
+            """},
+            select=("MEG002",),
+        )
+        assert result.findings == []
+
+    def test_non_clock_time_use_passes(self, lint_fixture):
+        result = lint_fixture(
+            {"src/repro/core/x.py": """\
+                import time
+
+                def pause():
+                    time.sleep(0)
+            """},
+            select=("MEG002",),
+        )
+        assert result.findings == []

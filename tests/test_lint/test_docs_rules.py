@@ -1,0 +1,132 @@
+"""MEG007 (doc coverage + fences) and MEG008 (CLI/doc sync) fixtures."""
+
+from __future__ import annotations
+
+from tests.test_lint.conftest import messages, rule_ids
+
+#: Minimal public module for coverage fixtures.
+PKG_INIT = """\
+    frobnicate = lambda: None
+    calibrate = lambda: None
+
+    __all__ = ["frobnicate", "calibrate"]
+"""
+
+
+class TestDocCoverage:
+    def _run(self, lint_fixture, api_text: str, extra=None):
+        files = {
+            "src/repro/__init__.py": PKG_INIT,
+            "docs/api.md": api_text,
+        }
+        files.update(extra or {})
+        return lint_fixture(
+            files,
+            select=("MEG007",),
+            public_modules={"repro": "src/repro/__init__.py"},
+        )
+
+    def test_undocumented_export_flagged(self, lint_fixture):
+        result = self._run(lint_fixture, "# API\n\nonly `frobnicate` here\n")
+        assert rule_ids(result) == ["MEG007"]
+        assert "repro.calibrate" in messages(result)
+
+    def test_documented_exports_pass(self, lint_fixture):
+        result = self._run(
+            lint_fixture, "# API\n\n`frobnicate` and `calibrate`\n"
+        )
+        assert result.findings == []
+
+    def test_broken_python_fence_flagged(self, lint_fixture):
+        result = self._run(
+            lint_fixture,
+            "# API\n\n`frobnicate` and `calibrate`\n",
+            extra={
+                "docs/guide.md": """\
+                    # Guide
+
+                    ```python
+                    def broken(:
+                    ```
+                """
+            },
+        )
+        assert rule_ids(result) == ["MEG007"]
+        assert "does not parse" in messages(result)
+
+    def test_valid_fence_passes(self, lint_fixture):
+        result = self._run(
+            lint_fixture,
+            "# API\n\n`frobnicate` and `calibrate`\n",
+            extra={
+                "docs/guide.md": """\
+                    ```python
+                    x = 1
+                    ```
+                """
+            },
+        )
+        assert result.findings == []
+
+    def test_missing_api_doc_flagged(self, lint_fixture):
+        result = lint_fixture(
+            {"src/repro/__init__.py": PKG_INIT},
+            select=("MEG007",),
+            public_modules={"repro": "src/repro/__init__.py"},
+        )
+        assert rule_ids(result) == ["MEG007"]
+        assert "missing or empty" in messages(result)
+
+
+class TestCliDocSync:
+    CLI = """\
+        import argparse
+
+        def build_parser():
+            parser = argparse.ArgumentParser()
+            commands = parser.add_subparsers()
+            run = commands.add_parser("frobnicate")
+            run.add_argument("--knob", type=int)
+            return parser
+    """
+
+    def _run(self, lint_fixture, api_text: str):
+        return lint_fixture(
+            {
+                "src/repro/cli.py": self.CLI,
+                "src/repro/__init__.py": "__all__ = []\n",
+                "docs/api.md": api_text,
+            },
+            select=("MEG008",),
+            public_modules={},
+        )
+
+    def test_undocumented_subcommand_and_flag_flagged(self, lint_fixture):
+        result = self._run(lint_fixture, "# API\n\nnothing\n")
+        assert rule_ids(result) == ["MEG008", "MEG008"]
+        assert "'frobnicate'" in messages(result)
+        assert "'--knob'" in messages(result)
+
+    def test_documented_surface_passes(self, lint_fixture):
+        result = self._run(
+            lint_fixture, "# API\n\n`frobnicate` takes `--knob`\n"
+        )
+        assert result.findings == []
+
+    def test_positional_arguments_are_not_required_in_docs(self, lint_fixture):
+        result = lint_fixture(
+            {
+                "src/repro/cli.py": """\
+                    import argparse
+
+                    def build_parser():
+                        parser = argparse.ArgumentParser()
+                        parser.add_argument("benchmark")
+                        return parser
+                """,
+                "docs/api.md": "# API\n",
+            },
+            select=("MEG008",),
+            public_modules={},
+        )
+        assert result.findings == []

@@ -1,0 +1,137 @@
+"""Engine behaviour: rule selection, parse errors, config, exit codes —
+plus the acceptance criterion that the repository at HEAD lints clean.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.lint import ALL_RULES, Rule, load_config, run_lint, select_rules
+from repro.lint.engine import PARSE_RULE_ID, main
+from tests.test_lint.conftest import REPO_ROOT, rule_ids, write_tree
+
+EXPECTED_RULE_IDS = [f"MEG00{n}" for n in range(1, 10)]
+
+
+class TestRepositoryIsClean:
+    def test_head_lints_clean(self):
+        """`megsim lint` exits 0 on the repo at HEAD (ISSUE 2 acceptance)."""
+        result = run_lint(load_config(REPO_ROOT))
+        assert result.findings == [], "\n".join(
+            finding.render() for finding in result.findings
+        )
+
+    def test_no_baseline_suppressions_in_use(self):
+        # The PR policy was fix-not-baseline; nothing should be hidden.
+        result = run_lint(load_config(REPO_ROOT))
+        assert result.baselined == []
+        assert result.stale_keys == []
+
+
+class TestRegistry:
+    def test_every_rule_shipped_and_ordered(self):
+        assert [rule.rule_id for rule in ALL_RULES] == EXPECTED_RULE_IDS
+
+    def test_rules_satisfy_the_protocol(self):
+        for rule in ALL_RULES:
+            assert isinstance(rule, Rule)
+            assert rule.name and rule.summary
+
+    def test_select_unknown_id_raises(self):
+        with pytest.raises(ConfigError):
+            select_rules(select=("MEG999",))
+
+    def test_select_and_disable_compose(self):
+        rules = select_rules(select=("MEG001", "MEG002"), disable=("MEG002",))
+        assert [rule.rule_id for rule in rules] == ["MEG001"]
+
+
+class TestEngineMechanics:
+    def test_syntax_error_becomes_meg000(self, lint_fixture):
+        result = lint_fixture(
+            {"src/repro/core/broken.py": "def broken(:\n"},
+            select=("MEG006",),
+        )
+        assert rule_ids(result) == [PARSE_RULE_ID]
+
+    def test_findings_are_sorted(self, lint_fixture):
+        result = lint_fixture(
+            {
+                "src/repro/core/b.py": "def f(x=[]):\n    return x\n",
+                "src/repro/core/a.py": "def g(y={}):\n    return y\n",
+            },
+            select=("MEG006",),
+        )
+        paths = [finding.path for finding in result.findings]
+        assert paths == sorted(paths)
+
+    def test_config_disable_applies(self, lint_fixture):
+        result = lint_fixture(
+            {"src/repro/core/x.py": "def f(x=[]):\n    return x\n"},
+            select=("MEG006",),
+            disable=("MEG006",),
+        )
+        assert result.findings == []
+
+
+class TestConfigLoading:
+    def test_defaults_without_pyproject(self, tmp_path):
+        config = load_config(tmp_path)
+        assert config.paths == ("src/repro",)
+        assert config.layers["errors"] == 0
+
+    def test_pyproject_overrides(self, tmp_path):
+        write_tree(tmp_path, {
+            "pyproject.toml": """\
+                [tool.megsim-lint]
+                paths = ["lib"]
+                disable = ["MEG006"]
+
+                [tool.megsim-lint.layers]
+                base = 0
+            """,
+        })
+        config = load_config(tmp_path)
+        assert config.paths == ("lib",)
+        assert config.disable == ("MEG006",)
+        assert config.layers == {"base": 0}
+
+    def test_unknown_key_rejected(self, tmp_path):
+        write_tree(tmp_path, {
+            "pyproject.toml": "[tool.megsim-lint]\ntypo-key = true\n",
+        })
+        with pytest.raises(ConfigError):
+            load_config(tmp_path)
+
+
+class TestCommandLine:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        write_tree(tmp_path, {"src/repro/core/x.py": "value = 1\n"})
+        code = main(["--root", str(tmp_path), "--select", "MEG006"])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_violation_exits_one(self, tmp_path, capsys):
+        write_tree(
+            tmp_path,
+            {"src/repro/core/x.py": "def f(x=[]):\n    return x\n"},
+        )
+        code = main(["--root", str(tmp_path), "--select", "MEG006"])
+        assert code == 1
+        assert "MEG006" in capsys.readouterr().out
+
+    def test_config_error_exits_two(self, tmp_path, capsys):
+        write_tree(tmp_path, {
+            "pyproject.toml": "[tool.megsim-lint]\ntypo-key = 1\n",
+        })
+        assert main(["--root", str(tmp_path)]) == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in EXPECTED_RULE_IDS:
+            assert rule_id in out
+
+    def test_repo_via_module_main(self, capsys):
+        assert main(["--root", str(REPO_ROOT)]) == 0

@@ -1,0 +1,95 @@
+"""MEG004 (bare except) and MEG005 (foreign raise) fixtures."""
+
+from __future__ import annotations
+
+from tests.test_lint.conftest import messages, rule_ids
+
+
+class TestBareExcept:
+    def test_bare_except_flagged(self, lint_fixture):
+        result = lint_fixture(
+            {"src/repro/core/x.py": """\
+                def swallow():
+                    try:
+                        return 1 / 0
+                    except:
+                        return None
+            """},
+            select=("MEG004",),
+        )
+        assert rule_ids(result) == ["MEG004"]
+
+    def test_typed_except_passes(self, lint_fixture):
+        result = lint_fixture(
+            {"src/repro/core/x.py": """\
+                def guard():
+                    try:
+                        return 1 / 0
+                    except ZeroDivisionError:
+                        return None
+            """},
+            select=("MEG004",),
+        )
+        assert result.findings == []
+
+
+class TestForeignRaise:
+    def test_builtin_raise_flagged(self, lint_fixture):
+        result = lint_fixture(
+            {"src/repro/core/x.py": """\
+                def check(k):
+                    if k < 1:
+                        raise ValueError("k must be positive")
+            """},
+            select=("MEG005",),
+        )
+        assert rule_ids(result) == ["MEG005"]
+        assert "ReproError" in messages(result)
+
+    def test_repro_error_passes(self, lint_fixture):
+        result = lint_fixture(
+            {"src/repro/core/x.py": """\
+                from repro.errors import ClusteringError
+
+                def check(k):
+                    if k < 1:
+                        raise ClusteringError("k must be positive")
+            """},
+            select=("MEG005",),
+        )
+        assert result.findings == []
+
+    def test_not_implemented_error_allowed(self, lint_fixture):
+        result = lint_fixture(
+            {"src/repro/gpu/x.py": """\
+                class Base:
+                    def run(self):
+                        raise NotImplementedError
+            """},
+            select=("MEG005",),
+        )
+        assert result.findings == []
+
+    def test_bare_reraise_passes(self, lint_fixture):
+        result = lint_fixture(
+            {"src/repro/core/x.py": """\
+                def retry():
+                    try:
+                        return 1
+                    except Exception:
+                        raise
+            """},
+            select=("MEG005",),
+        )
+        assert result.findings == []
+
+    def test_allowlist_is_configurable(self, lint_fixture):
+        result = lint_fixture(
+            {"src/repro/core/x.py": """\
+                def stop():
+                    raise StopIteration
+            """},
+            select=("MEG005",),
+            raise_allowed=("NotImplementedError", "StopIteration"),
+        )
+        assert result.findings == []

@@ -1,0 +1,68 @@
+"""MEG009: ``__all__`` consistency."""
+
+from __future__ import annotations
+
+from tests.test_lint.conftest import messages, rule_ids
+
+
+class TestDunderAll:
+    def test_phantom_export_flagged(self, lint_fixture):
+        result = lint_fixture(
+            {"src/repro/core/__init__.py": """\
+                from repro.core.kmeans import kmeans
+
+                __all__ = ["kmeans", "bic_score"]
+            """},
+            select=("MEG009",),
+        )
+        assert rule_ids(result) == ["MEG009"]
+        assert "'bic_score'" in messages(result)
+
+    def test_bound_exports_pass(self, lint_fixture):
+        result = lint_fixture(
+            {"src/repro/core/__init__.py": """\
+                from repro.core.kmeans import kmeans
+                from repro.core.bic import bic_score as bic
+
+                THRESHOLD = 0.9
+
+                def helper():
+                    return None
+
+                __all__ = ["kmeans", "bic", "THRESHOLD", "helper"]
+            """},
+            select=("MEG009",),
+        )
+        assert result.findings == []
+
+    def test_conditional_import_counts_as_binding(self, lint_fixture):
+        result = lint_fixture(
+            {"src/repro/core/__init__.py": """\
+                try:
+                    from repro.core.fast import solve
+                except ImportError:
+                    solve = None
+
+                __all__ = ["solve"]
+            """},
+            select=("MEG009",),
+        )
+        assert result.findings == []
+
+    def test_non_literal_all_flagged(self, lint_fixture):
+        result = lint_fixture(
+            {"src/repro/core/__init__.py": """\
+                names = ["kmeans"]
+                __all__ = names + ["extra"]
+            """},
+            select=("MEG009",),
+        )
+        assert rule_ids(result) == ["MEG009"]
+        assert "literal" in messages(result)
+
+    def test_module_without_all_is_ignored(self, lint_fixture):
+        result = lint_fixture(
+            {"src/repro/core/x.py": "value = 1\n"},
+            select=("MEG009",),
+        )
+        assert result.findings == []

@@ -1,0 +1,85 @@
+"""MEG003: layering back-edges, cycles, unknown components."""
+
+from __future__ import annotations
+
+from tests.test_lint.conftest import messages, rule_ids
+
+
+class TestBackEdges:
+    def test_gpu_importing_analysis_is_a_back_edge(self, lint_fixture):
+        result = lint_fixture(
+            {"src/repro/gpu/x.py": """\
+                from repro.analysis.runner import evaluate_benchmark
+            """},
+            select=("MEG003",),
+        )
+        assert rule_ids(result) == ["MEG003"]
+        assert "back-edge" in messages(result)
+
+    def test_lazy_function_body_import_counts(self, lint_fixture):
+        result = lint_fixture(
+            {"src/repro/scene/x.py": """\
+                def shortcut():
+                    from repro.cli import main
+                    return main
+            """},
+            select=("MEG003",),
+        )
+        assert rule_ids(result) == ["MEG003"]
+
+    def test_downward_imports_pass(self, lint_fixture):
+        result = lint_fixture(
+            {
+                "src/repro/core/x.py": """\
+                    from repro.errors import ClusteringError
+                    from repro.gpu.stats import FrameStats
+                    from repro.obs import span
+                """,
+                "src/repro/gpu/stats.py": "FrameStats = object\n",
+            },
+            select=("MEG003",),
+        )
+        assert result.findings == []
+
+    def test_same_component_imports_pass(self, lint_fixture):
+        result = lint_fixture(
+            {"src/repro/core/x.py": """\
+                from repro.core.kmeans import kmeans
+            """},
+            select=("MEG003",),
+        )
+        assert result.findings == []
+
+
+class TestCycles:
+    def test_same_level_cycle_reported(self, lint_fixture):
+        # workloads and gpu share a level, so neither import is a
+        # back-edge — only cycle detection can catch the pair.
+        result = lint_fixture(
+            {
+                "src/repro/workloads/a.py": "import repro.gpu.b\n",
+                "src/repro/gpu/b.py": "import repro.workloads.a\n",
+            },
+            select=("MEG003",),
+        )
+        assert "import cycle" in messages(result)
+        assert any("gpu" in f.message and "workloads" in f.message
+                   for f in result.findings)
+
+
+class TestUnknownComponents:
+    def test_unmapped_component_flagged(self, lint_fixture):
+        result = lint_fixture(
+            {"src/repro/mystery/x.py": "VALUE = 1\n"},
+            select=("MEG003",),
+        )
+        assert rule_ids(result) == ["MEG003"]
+        assert "no level" in messages(result)
+
+    def test_custom_layer_map_is_honoured(self, lint_fixture):
+        result = lint_fixture(
+            {"src/repro/mystery/x.py": "from repro.errors import ReproError\n"},
+            select=("MEG003",),
+            layers={"errors": 0, "mystery": 1},
+        )
+        assert result.findings == []

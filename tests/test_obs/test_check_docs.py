@@ -1,63 +1,40 @@
-"""The docs lint (scripts/check_docs.py) passes and catches regressions."""
+"""The retired ``scripts/check_docs.py`` shim: deprecation + delegation.
+
+The real doc checks now live in ``repro.lint`` (rules MEG007/MEG008/
+MEG009, covered by ``tests/test_lint/``); this file only pins the shim's
+contract — it warns, it delegates, and it still exits 0 on a clean tree.
+"""
 
 from __future__ import annotations
 
-import importlib.util
+import subprocess
+import sys
 from pathlib import Path
 
-import pytest
-
-SCRIPT = (
-    Path(__file__).resolve().parent.parent.parent / "scripts" / "check_docs.py"
-)
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+SCRIPT = REPO_ROOT / "scripts" / "check_docs.py"
 
 
-@pytest.fixture(scope="module")
-def check_docs():
-    spec = importlib.util.spec_from_file_location("check_docs", SCRIPT)
-    module = importlib.util.module_from_spec(spec)
-    spec.loader.exec_module(module)
-    return module
+def run_shim() -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(SCRIPT)],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
 
 
-class TestRepositoryIsClean:
-    def test_lint_passes(self, check_docs, capsys):
-        assert check_docs.main() == 0
-        assert "OK" in capsys.readouterr().out
+class TestDeprecationShim:
+    def test_exits_zero_on_clean_tree(self):
+        result = run_shim()
+        assert result.returncode == 0, result.stdout + result.stderr
 
-    def test_no_failures_collected(self, check_docs):
-        assert check_docs.collect_failures() == []
+    def test_prints_deprecation_pointer(self):
+        result = run_shim()
+        assert "DEPRECATED" in result.stderr
+        assert "megsim lint" in result.stderr
 
-
-class TestLintMechanics:
-    def test_exported_names_reads_all(self, check_docs, tmp_path):
-        module = tmp_path / "mod.py"
-        module.write_text('__all__ = ["alpha", "beta"]\n')
-        assert check_docs.exported_names(module) == ["alpha", "beta"]
-
-    def test_exported_names_requires_all(self, check_docs, tmp_path):
-        module = tmp_path / "mod.py"
-        module.write_text("x = 1\n")
-        with pytest.raises(ValueError):
-            check_docs.exported_names(module)
-
-    def test_python_fences_extracted(self, check_docs):
-        text = "intro\n```python\nx = 1\n```\n```\nnot python\n```\n"
-        assert check_docs.python_fences(text) == ["x = 1\n"]
-
-    def test_broken_fence_detected(self, check_docs):
-        fences = check_docs.python_fences("```python\ndef broken(:\n```\n")
-        assert fences
-        with pytest.raises(SyntaxError):
-            compile(fences[0], "fence", "exec")
-
-    def test_obs_exports_are_covered(self, check_docs):
-        """Every repro.obs export is in docs/api.md (the PR's contract)."""
-        api_text = (
-            SCRIPT.parent.parent / "docs" / "api.md"
-        ).read_text()
-        obs_init = (
-            SCRIPT.parent.parent / "src" / "repro" / "obs" / "__init__.py"
-        )
-        for name in check_docs.exported_names(obs_init):
-            assert name in api_text, name
+    def test_points_at_the_replacing_rules(self):
+        result = run_shim()
+        for rule_id in ("MEG007", "MEG008", "MEG009"):
+            assert rule_id in result.stderr

@@ -35,6 +35,35 @@ class TestDeterminism:
     def test_seed_changes_fingerprint(self):
         assert _begin(seed=0).fingerprint() != _begin(seed=1).fingerprint()
 
+    def test_scale_changes_fingerprint(self):
+        base = _begin()
+        scaled = _begin()
+        scaled.scale = 0.5
+        assert base.fingerprint() != scaled.fingerprint()
+
+    def test_config_changes_fingerprint(self):
+        base = _begin()
+        tweaked = _begin()
+        tweaked.config["rendering_mode"] = "imr"
+        assert base.fingerprint() != tweaked.fingerprint()
+
+    def test_fingerprint_ignores_runtime_aggregates(self):
+        # The fingerprint is the *plan* identity: two runs with the same
+        # knobs must match even when their collectors observed different
+        # work (this is the invariant megsim lint enforces statically).
+        first, second = _begin(), _begin()
+        with collecting() as one:
+            with span("phase.a"):
+                counter("frames", 10)
+        first.finish(one)
+        with collecting() as two:
+            with span("phase.b"):
+                counter("frames", 99)
+                gauge("cycles", 1.0)
+        second.finish(two)
+        assert first.phases != second.phases
+        assert first.fingerprint() == second.fingerprint()
+
     def test_identity_excludes_timing(self):
         manifest = _begin()
         identity = manifest.identity()

@@ -59,7 +59,17 @@ class TestNormalize:
         assert v.length() == pytest.approx(1.0)
 
     def test_zero_vector_raises(self):
+        # GeometryError derives from both ReproError and the historical
+        # ZeroDivisionError, so either catch works.
         with pytest.raises(ZeroDivisionError):
+            Vec3.zero().normalized()
+
+    def test_zero_vector_raises_repro_error(self):
+        from repro.errors import GeometryError, ReproError
+
+        with pytest.raises(GeometryError):
+            Vec3.zero().normalized()
+        with pytest.raises(ReproError):
             Vec3.zero().normalized()
 
 
