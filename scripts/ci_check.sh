@@ -11,3 +11,12 @@ python -m repro.lint --root .
 
 echo "== tier-1 tests =="
 python -m pytest -x -q
+
+# The determinism contract (docs/parallelism.md) must hold whichever
+# worker count MEGSIM_JOBS selects, so the cross-check suite runs once
+# serially and once with every available CPU.
+echo "== parallel determinism (MEGSIM_JOBS=1) =="
+MEGSIM_JOBS=1 python -m pytest -x -q tests/test_parallel/test_determinism.py
+
+echo "== parallel determinism (MEGSIM_JOBS=auto) =="
+MEGSIM_JOBS=auto python -m pytest -x -q tests/test_parallel/test_determinism.py

@@ -1,23 +1,29 @@
 """Run the complete paper-scale experiment campaign (scale = 1.0).
 
 Regenerates every table and figure at the paper's full frame counts and
-writes the reports to ``experiments_full/``.  One process so all
-experiments share the cached per-benchmark evaluations.
+writes the reports to ``experiments_full/``.  With ``--jobs 1`` (the
+default) everything runs in one process so all experiments share the
+cached per-benchmark evaluations; with ``--jobs N`` the steps fan out
+across a :func:`repro.parallel.parallel_map` worker pool (each worker
+builds its own cache) and the reports are written in the same campaign
+order regardless of completion order.
 
 Alongside the reports the campaign writes its provenance: a run manifest
 (``manifest.json``) and a span/counter summary (``obs_summary.txt``),
 both produced by :mod:`repro.obs`.
 
-Run:  python scripts/run_full_experiments.py [outdir]
+Run:  python scripts/run_full_experiments.py [outdir] [--jobs N]
 """
 
 from __future__ import annotations
 
+import argparse
 import json
-import sys
 from pathlib import Path
+import sys
 
 from repro.obs import Collector, RunManifest, render_report, set_collector, span
+from repro.parallel import ParallelConfig, parallel_map
 
 from repro.analysis.experiments import (
     fig3_correlation,
@@ -42,12 +48,120 @@ from repro.analysis.ablation import (
 from repro.analysis.phase_recovery import phase_recovery_study
 
 
-def _phase_recovery() -> tuple:
-    return phase_recovery_study(scale=1.0)
+# Campaign registry: name -> zero-argument callable returning the report
+# string.  Module-level named functions (not lambdas) so each step is
+# picklable and can be dispatched to a worker process.
+
+def _table1() -> str:
+    return table1_config().report
+
+
+def _table2() -> str:
+    return table2_benchmarks(scale=1.0).report
+
+
+def _fig3() -> str:
+    return fig3_correlation(scale=1.0).report
+
+
+def _fig4() -> str:
+    return fig4_power(scale=1.0).report
+
+
+def _fig5() -> str:
+    return fig5_similarity(alias="bbr1", frames=900, scale=1.0).report
+
+
+def _fig6() -> str:
+    return fig6_clusters(alias="bbr1", frames=900, scale=1.0).report
+
+
+def _table3() -> str:
+    return table3_reduction(scale=1.0).report
+
+
+def _fig7() -> str:
+    return fig7_accuracy(scale=1.0).report
+
+
+def _speedup() -> str:
+    return speedup(scale=1.0).report
+
+
+def _table4() -> str:
+    return table4_random(
+        scale=1.0, megsim_trials=20, random_trials=1000, max_k=48
+    ).report
+
+
+def _ablation_weights() -> str:
+    return weight_ablation("bbr1", scale=1.0)[1]
+
+
+def _ablation_threshold() -> str:
+    return threshold_sweep("jjo", scale=1.0)[1]
+
+
+def _ablation_clustering() -> str:
+    return cluster_method_study("pvz", scale=1.0)[1]
+
+
+def _ablation_warmup() -> str:
+    return warmup_study("hwh", scale=1.0)[1]
+
+
+def _ablation_rendering_modes() -> str:
+    return rendering_mode_study("bbr1", scale=1.0)[1]
+
+
+def _phase_recovery() -> str:
+    return phase_recovery_study(scale=1.0)[1]
+
+
+def _ablation_convergence() -> str:
+    return scale_convergence_study("jjo", scales=(0.1, 0.25, 0.5, 1.0))[1]
+
+
+REGISTRY: dict[str, object] = {
+    "table1": _table1,
+    "table2": _table2,
+    "fig3": _fig3,
+    "fig4": _fig4,
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "table3": _table3,
+    "fig7": _fig7,
+    "speedup": _speedup,
+    "table4": _table4,
+    "ablation_weights": _ablation_weights,
+    "ablation_threshold": _ablation_threshold,
+    "ablation_clustering": _ablation_clustering,
+    "ablation_warmup": _ablation_warmup,
+    "ablation_rendering_modes": _ablation_rendering_modes,
+    "phase_recovery": _phase_recovery,
+    "ablation_convergence": _ablation_convergence,
+}
+
+
+def _run_step(name: str) -> tuple[str, str, float]:
+    """Worker: run one campaign step; returns (name, report, seconds)."""
+    with span("experiment.full", experiment=name) as timing:
+        report = REGISTRY[name]()
+    return name, report, timing.elapsed_seconds
 
 
 def main() -> None:
-    outdir = Path(sys.argv[1] if len(sys.argv) > 1 else "experiments_full")
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("outdir", nargs="?", default="experiments_full")
+    parser.add_argument(
+        "--jobs", "-j", metavar="N", default=None,
+        help="worker processes for the campaign: a positive number or "
+             "'auto'; defaults to MEGSIM_JOBS, else 1 (serial, shared "
+             "per-benchmark cache)",
+    )
+    args = parser.parse_args()
+    pool = ParallelConfig.from_cli(args.jobs)
+    outdir = Path(args.outdir)
     outdir.mkdir(exist_ok=True)
     summary: dict[str, float] = {}
     collector = Collector()
@@ -57,43 +171,12 @@ def main() -> None:
         experiment="full-campaign",
         scale=1.0,
         seed=0,
+        config={"jobs": pool.jobs},
     )
 
-    steps = [
-        ("table1", lambda: table1_config()),
-        ("table2", lambda: table2_benchmarks(scale=1.0)),
-        ("fig3", lambda: fig3_correlation(scale=1.0)),
-        ("fig4", lambda: fig4_power(scale=1.0)),
-        ("fig5", lambda: fig5_similarity(alias="bbr1", frames=900, scale=1.0)),
-        ("fig6", lambda: fig6_clusters(alias="bbr1", frames=900, scale=1.0)),
-        ("table3", lambda: table3_reduction(scale=1.0)),
-        ("fig7", lambda: fig7_accuracy(scale=1.0)),
-        ("speedup", lambda: speedup(scale=1.0)),
-        ("table4", lambda: table4_random(
-            scale=1.0, megsim_trials=20, random_trials=1000, max_k=48)),
-    ]
-    for name, runner in steps:
-        with span("experiment.full", experiment=name) as timing:
-            result = runner()
-        elapsed = timing.elapsed_seconds
-        (outdir / f"{name}.txt").write_text(result.report + "\n")
-        summary[name] = elapsed
-        print(f"[done] {name} in {elapsed:.1f}s", flush=True)
-
-    for name, runner in [
-        ("ablation_weights", lambda: weight_ablation("bbr1", scale=1.0)),
-        ("ablation_threshold", lambda: threshold_sweep("jjo", scale=1.0)),
-        ("ablation_clustering", lambda: cluster_method_study("pvz", scale=1.0)),
-        ("ablation_warmup", lambda: warmup_study("hwh", scale=1.0)),
-        ("ablation_rendering_modes",
-         lambda: rendering_mode_study("bbr1", scale=1.0)),
-        ("phase_recovery", lambda: _phase_recovery()),
-        ("ablation_convergence",
-         lambda: scale_convergence_study("jjo", scales=(0.1, 0.25, 0.5, 1.0))),
-    ]:
-        with span("experiment.full", experiment=name) as timing:
-            _, report = runner()
-        elapsed = timing.elapsed_seconds
+    for name, report, elapsed in parallel_map(
+        _run_step, list(REGISTRY), parallel=pool
+    ):
         (outdir / f"{name}.txt").write_text(report + "\n")
         summary[name] = elapsed
         print(f"[done] {name} in {elapsed:.1f}s", flush=True)

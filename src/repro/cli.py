@@ -35,6 +35,7 @@ from repro.obs import (
     span,
     wall_clock,
 )
+from repro.parallel import ParallelConfig, parallel_map, profile_parallel
 from repro.workloads.benchmarks import benchmark_aliases, make_benchmark
 
 
@@ -42,6 +43,17 @@ def _add_scale(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale", type=float, default=1.0,
         help="sequence-length scale (1.0 = the paper's frame counts)",
+    )
+
+
+def _add_jobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", "-j", metavar="N", default=None,
+        help="worker processes for parallelizable stages: a positive "
+             "number or 'auto' (all available CPUs); defaults to the "
+             "MEGSIM_JOBS environment variable, else 1 (serial). "
+             "Results are byte-identical for any value "
+             "(see docs/parallelism.md)",
     )
 
 
@@ -80,11 +92,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     everything = commands.add_parser("all", help="run every experiment")
     _add_scale(everything)
+    _add_jobs(everything)
     _add_obs(everything)
 
     plan = commands.add_parser("plan", help="show a benchmark's sampling plan")
     plan.add_argument("benchmark", choices=benchmark_aliases())
     _add_scale(plan)
+    _add_jobs(plan)
     _add_obs(plan)
 
     inspect = commands.add_parser(
@@ -103,6 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--outdir", default=".",
                          help="directory for fig5.pgm / fig6.ppm")
     _add_scale(figures)
+    _add_jobs(figures)
     _add_obs(figures)
 
     trace = commands.add_parser(
@@ -182,6 +197,15 @@ def main(argv: list[str] | None = None) -> int:
             print(render_report(collector))
 
 
+def _experiment_worker(item: tuple[str, float]) -> tuple[str, str]:
+    """Worker for ``megsim all --jobs N``: run one whole experiment."""
+    name, scale = item
+    kwargs = {} if name == "table1" else {"scale": scale}
+    with span("experiment.cli", experiment=name):
+        result = run_experiment(name, **kwargs)
+    return name, result.report
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     """Execute one parsed command; returns the process exit code."""
     if args.command == "list":
@@ -210,6 +234,25 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "all":
         total = len(EXPERIMENTS)
+        pool = ParallelConfig.from_cli(args.jobs)
+        if pool.jobs > 1:
+            # Whole experiments fan out across workers; reports are
+            # merged and printed in the registry order, so output is
+            # identical to a serial run minus the progress lines.
+            print(
+                f"running {total} experiments across {pool.jobs} workers",
+                flush=True,
+            )
+            outcomes = parallel_map(
+                _experiment_worker,
+                [(name, args.scale) for name in EXPERIMENTS],
+                parallel=pool,
+            )
+            for index, (name, report) in enumerate(outcomes, 1):
+                print(f"[{index}/{total}] {name}", flush=True)
+                print(report)
+                print()
+            return 0
         for index, name in enumerate(EXPERIMENTS, 1):
             # One line per experiment (before and after) so a hung or slow
             # experiment is identifiable mid-run.
@@ -228,7 +271,10 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "plan":
         trace = make_benchmark(args.benchmark, scale=args.scale)
-        plan = MEGsim().plan(trace)
+        profile = profile_parallel(
+            trace, parallel=ParallelConfig.from_cli(args.jobs)
+        )
+        plan = MEGsim().plan_from_profile(profile)
         print(
             f"{args.benchmark}: {plan.total_frames} frames -> "
             f"{plan.selected_frame_count} representatives "
@@ -246,7 +292,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "figures":
-        _figures(args.benchmark, args.frames, args.scale, args.outdir)
+        _figures(
+            args.benchmark, args.frames, args.scale, args.outdir,
+            jobs=args.jobs,
+        )
         return 0
 
     if args.command == "trace":
@@ -299,7 +348,10 @@ def _inspect(alias: str, scale: float) -> None:
                       for m, e in evaluation.relative_errors().items()))
 
 
-def _figures(alias: str, frames: int, scale: float, outdir: str) -> None:
+def _figures(
+    alias: str, frames: int, scale: float, outdir: str,
+    jobs: str | int | None = None,
+) -> None:
     """Write Figure 5/6 images for one benchmark."""
     from pathlib import Path
 
@@ -307,10 +359,9 @@ def _figures(alias: str, frames: int, scale: float, outdir: str) -> None:
     from repro.core.cluster_search import search_clustering
     from repro.core.features import build_feature_matrix
     from repro.core.similarity import similarity_matrix
-    from repro.gpu.functional_sim import FunctionalSimulator
 
     trace = make_benchmark(alias, scale=scale)
-    profile = FunctionalSimulator().profile(trace)
+    profile = profile_parallel(trace, parallel=ParallelConfig.from_cli(jobs))
     features, _ = build_feature_matrix(profile)
     frames = min(frames, features.shape[0])
     distances = similarity_matrix(features[:frames], upper_only=False)

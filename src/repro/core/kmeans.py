@@ -132,21 +132,28 @@ def kmeans(
         distances = _squared_distances(points, centroids)
         new_labels = distances.argmin(axis=1)
         # Refill empty clusters with the points farthest from their
-        # centroid, the standard Lloyd repair step.
+        # centroid, the standard Lloyd repair step.  A donor point must
+        # not be its cluster's sole member: stealing it would just move
+        # the hole (and on duplicate-heavy data the cascade used to
+        # leave clusters empty for good).  Since n >= k, a donor cluster
+        # with >= 2 points always exists while any slot is empty, so the
+        # repair always terminates with every cluster populated.
         counts = np.bincount(new_labels, minlength=k)
         empties = np.flatnonzero(counts == 0)
         if empties.size:
             closest = distances[np.arange(n), new_labels]
             farthest = np.argsort(closest)[::-1]
-            for slot, point_index in zip(empties, farthest):
-                new_labels[point_index] = slot
-            counts = np.bincount(new_labels, minlength=k)
+            for slot in empties:
+                for point_index in farthest:
+                    source = new_labels[point_index]
+                    if counts[source] <= 1:
+                        continue
+                    new_labels[point_index] = slot
+                    counts[source] -= 1
+                    counts[slot] += 1
+                    break
         converged = iteration > 1 and bool(np.array_equal(labels, new_labels))
         labels = new_labels
-        # Recompute centroids as cluster means.  A cluster can still end up
-        # empty when the repair step stole its only point (duplicate-heavy
-        # data); its centroid then keeps position zero and the final
-        # assignment pass ignores it.
         centroids = np.zeros_like(centroids)
         np.add.at(centroids, labels, points)
         centroids /= np.maximum(counts, 1)[:, np.newaxis]
@@ -155,8 +162,11 @@ def kmeans(
 
     final_distances = _squared_distances(points, centroids)
     labels = final_distances.argmin(axis=1)
-    # Guard against the final re-assignment emptying a cluster: keep the
-    # previous assignment for clusters that would vanish.
+    # Guard against the final re-assignment emptying a cluster (duplicate
+    # centroids route all ties to the lowest index): keep the repaired
+    # loop assignment instead, which covers every cluster.  Either way
+    # wcss is recomputed from the labels actually returned, against the
+    # centroids actually returned.
     if np.bincount(labels, minlength=k).min() == 0:
         labels = new_labels
     wcss = float(final_distances[np.arange(n), labels].sum())

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ClusteringError
+from repro.errors import AnalysisError, ClusteringError
 from repro.core.cluster_search import (
     ClusterSearchResult,
     PAPER_THRESHOLD,
@@ -96,11 +96,33 @@ class SamplingPlan:
 
     @property
     def reduction_factor(self) -> float:
-        """Full-sequence frames divided by selected frames (Table III)."""
+        """Full-sequence frames divided by selected frames (Table III).
+
+        Raises:
+            AnalysisError: when the plan holds no clusters (possible for
+                plans constructed directly rather than via
+                :meth:`MEGsim.plan`).
+        """
+        if not self.clusters:
+            raise AnalysisError(
+                f"plan for {self.trace_name!r} has no clusters; "
+                "reduction_factor is undefined"
+            )
         return self.total_frames / self.selected_frame_count
 
     def estimate(self, representative_stats: dict[int, FrameStats]) -> FrameStats:
-        """Extrapolate representative statistics to the full sequence."""
+        """Extrapolate representative statistics to the full sequence.
+
+        Raises:
+            AnalysisError: when the plan holds no clusters — there is
+                nothing to scale, and silently returning zero statistics
+                would masquerade as a measurement.
+        """
+        if not self.clusters:
+            raise AnalysisError(
+                f"plan for {self.trace_name!r} has no clusters; "
+                "cannot extrapolate statistics"
+            )
         return extrapolate_statistics(self.clusters, representative_stats)
 
     # ------------------------------------------------------------------
@@ -137,6 +159,11 @@ class SamplingPlan:
 
         The feature matrix is not persisted; the restored plan carries an
         empty one (``estimate``/``representative_frames`` are unaffected).
+        The search's clustering is a placeholder without centroids, but
+        its labels are rebuilt from the persisted cluster members (one
+        label row per cluster, in cluster order), so diagnostics like
+        ``search.clustering.cluster_sizes()`` report the real cluster
+        populations instead of lumping every frame into cluster 0.
         """
         from repro.core.kmeans import KMeansResult
 
@@ -150,9 +177,12 @@ class SamplingPlan:
             for c in payload["clusters"]
         )
         search_payload = payload["search"]
+        labels = np.zeros(payload["total_frames"], dtype=np.int64)
+        for row, cluster in enumerate(clusters):
+            labels[list(cluster.members)] = row
         placeholder = KMeansResult(
             centroids=np.zeros((len(clusters), 0)),
-            labels=np.zeros(payload["total_frames"], dtype=np.int64),
+            labels=labels,
             wcss=0.0,
             iterations=0,
         )

@@ -27,6 +27,7 @@ DEFAULT_LAYERS: dict[str, int] = {
     "workloads": 3,
     "gpu": 3,
     "core": 4,
+    "parallel": 5,
     "analysis": 5,
     "benchmark_support": 6,
     "lint": 6,
@@ -76,6 +77,7 @@ class LintConfig:
         default_factory=lambda: {
             "repro": "src/repro/__init__.py",
             "repro.obs": "src/repro/obs/__init__.py",
+            "repro.parallel": "src/repro/parallel/__init__.py",
             "repro.lint": "src/repro/lint/__init__.py",
         }
     )

@@ -57,7 +57,7 @@ class ImportLayeringRule:
     name = "import-layering"
     summary = (
         "intra-package imports must follow the scene -> gpu -> core -> "
-        "analysis -> cli layer DAG (no back-edges, no cycles)"
+        "parallel/analysis -> cli layer DAG (no back-edges, no cycles)"
     )
 
     def check(self, project: Project) -> Iterator[Finding]:

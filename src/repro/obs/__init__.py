@@ -12,6 +12,10 @@ Everything the pipeline reports about itself flows through this package:
   (:mod:`repro.obs.report`).
 * :class:`RunManifest` / :func:`describe_version` — durable provenance
   for every run (:mod:`repro.obs.manifest`).
+* :class:`ObsBuffer` / :func:`capture_buffer` / :func:`merge_buffer` —
+  picklable per-worker span/counter buffers that keep tracing complete
+  under process-pool execution (:mod:`repro.obs.buffer`, used by
+  :mod:`repro.parallel`).
 
 Quickstart::
 
@@ -23,6 +27,12 @@ Quickstart::
     print(render_report(collector))
 """
 
+from repro.obs.buffer import (
+    ObsBuffer,
+    SpanDump,
+    capture_buffer,
+    merge_buffer,
+)
 from repro.obs.manifest import RunManifest, describe_version
 from repro.obs.report import render_report
 from repro.obs.sink import JsonlSink
@@ -48,6 +58,10 @@ __all__ = [
     "set_collector",
     "get_collector",
     "JsonlSink",
+    "ObsBuffer",
+    "SpanDump",
+    "capture_buffer",
+    "merge_buffer",
     "render_report",
     "RunManifest",
     "describe_version",

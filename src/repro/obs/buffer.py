@@ -1,0 +1,124 @@
+"""Per-worker observability buffers for process-pool execution.
+
+A worker process cannot report into the parent's :class:`Collector`
+directly — the collector is plain in-process state.  Instead each worker
+runs under its own private collector, exports everything it recorded as
+a picklable :class:`ObsBuffer`, and returns the buffer alongside its
+result.  The parent merges buffers back (in task order, so the merged
+stream is deterministic for a fixed worker count) and ``--trace`` /
+``--profile`` output stays complete under parallelism.
+
+Contents of a buffer:
+
+* ``spans`` — the worker's completed root spans, dumped recursively as
+  :class:`SpanDump` trees.  Merging adopts them under the parent's
+  currently open span, with fresh ids from the parent's sequence.
+  Worker-local ``perf_counter`` timestamps are meaningless across
+  processes, so only each span's *duration* survives the round trip
+  (adopted spans are rebased to ``started = 0.0``).
+* ``counters`` / ``gauges`` — the worker's global totals, folded into
+  the parent's totals via :meth:`Collector.absorb_totals` (they are
+  deliberately *not* re-attributed to the parent's open span: the
+  adopted span trees already carry the per-span attribution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.trace import Collector, Span
+
+
+@dataclass(frozen=True)
+class SpanDump:
+    """One completed span, flattened to plain picklable data.
+
+    Attributes:
+        name: the span's dotted phase name.
+        attrs: the attributes given at span entry.
+        elapsed_seconds: the span's wall-time duration in its process.
+        counters: counter deltas attributed to the span.
+        gauges: gauge values set while the span was innermost.
+        children: completed child spans, in completion order.
+    """
+
+    name: str
+    attrs: dict = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+    counters: dict = field(default_factory=dict)
+    gauges: dict = field(default_factory=dict)
+    children: tuple["SpanDump", ...] = ()
+
+
+@dataclass(frozen=True)
+class ObsBuffer:
+    """Everything one worker recorded, ready to cross a process boundary.
+
+    Attributes:
+        spans: the worker collector's completed root span trees.
+        counters: the worker's global counter totals.
+        gauges: the worker's global gauge values (last write wins).
+    """
+
+    spans: tuple[SpanDump, ...] = ()
+    counters: dict = field(default_factory=dict)
+    gauges: dict = field(default_factory=dict)
+
+    @property
+    def span_count(self) -> int:
+        """Total spans in the buffer, including nested children."""
+
+        def count(dump: SpanDump) -> int:
+            return 1 + sum(count(child) for child in dump.children)
+
+        return sum(count(dump) for dump in self.spans)
+
+
+def _dump_span(record: Span) -> SpanDump:
+    """Flatten one completed :class:`Span` (and its subtree)."""
+    return SpanDump(
+        name=record.name,
+        attrs=dict(record.attrs),
+        elapsed_seconds=record.elapsed_seconds,
+        counters=dict(record.counters),
+        gauges=dict(record.gauges),
+        children=tuple(_dump_span(child) for child in record.children),
+    )
+
+
+def capture_buffer(collector: Collector) -> ObsBuffer:
+    """Export a (finished) collector's state as a picklable buffer."""
+    return ObsBuffer(
+        spans=tuple(_dump_span(record) for record in collector.roots),
+        counters=dict(collector.counters),
+        gauges=dict(collector.gauges),
+    )
+
+
+def _rebuild_span(dump: SpanDump) -> Span:
+    """Reconstruct a completed :class:`Span` tree from its dump.
+
+    Timestamps are rebased to ``started = 0.0`` — worker ``perf_counter``
+    values do not share an epoch with the parent process, so only the
+    duration is meaningful.
+    """
+    record = Span(dump.name, dict(dump.attrs))
+    record.started = 0.0
+    record.ended = dump.elapsed_seconds
+    record.counters = dict(dump.counters)
+    record.gauges = dict(dump.gauges)
+    record.children = [_rebuild_span(child) for child in dump.children]
+    return record
+
+
+def merge_buffer(collector: Collector, buffer: ObsBuffer) -> None:
+    """Fold one worker buffer into ``collector``.
+
+    Span trees are adopted under the collector's currently open span
+    (fresh ids, events emitted to the sink); counter and gauge totals
+    are absorbed into the global tables.  Merging buffers in task order
+    keeps the resulting span list and totals deterministic.
+    """
+    for dump in buffer.spans:
+        collector.adopt(_rebuild_span(dump))
+    collector.absorb_totals(buffer.counters, buffer.gauges)

@@ -220,6 +220,96 @@ class Collector:
         return number
 
     # ------------------------------------------------------------------
+    # Worker-buffer merging (see repro.obs.buffer).
+    # ------------------------------------------------------------------
+
+    def adopt(self, record: Span) -> None:
+        """File an externally-built, *completed* span tree into this tree.
+
+        The record (typically rebuilt from a worker's
+        :class:`~repro.obs.buffer.ObsBuffer`) is re-identified with fresh
+        ids from this collector's sequence, attached under the calling
+        thread's currently open span (or as a root), registered in
+        ``spans`` in completion order (children before parents), and its
+        start/end events are emitted to the sink.
+        """
+        parent = self.current_span()
+        self._assign_ids(record, parent.span_id if parent is not None else None)
+        with self._lock:
+            if parent is not None:
+                parent.children.append(record)
+            else:
+                self.roots.append(record)
+            self._register(record)
+        self._emit_adopted(record)
+
+    def _assign_ids(self, record: Span, parent_id: int | None) -> None:
+        record.span_id = next(self._ids)
+        record.parent_id = parent_id
+        for child in record.children:
+            self._assign_ids(child, record.span_id)
+
+    def _register(self, record: Span) -> None:
+        """Append a completed subtree to ``spans`` (children first)."""
+        for child in record.children:
+            self._register(child)
+        self.spans.append(record)
+
+    def _emit_adopted(self, record: Span) -> None:
+        self._emit({
+            "type": "span_start",
+            "ts": time.time(),
+            "span_id": record.span_id,
+            "parent_id": record.parent_id,
+            "name": record.name,
+            "attrs": record.attrs,
+        })
+        for child in record.children:
+            self._emit_adopted(child)
+        self._emit({
+            "type": "span_end",
+            "ts": time.time(),
+            "span_id": record.span_id,
+            "name": record.name,
+            "elapsed_seconds": record.elapsed_seconds,
+            "counters": dict(record.counters),
+            "gauges": dict(record.gauges),
+        })
+
+    def absorb_totals(self, counters: dict, gauges: dict) -> None:
+        """Fold worker-aggregated counter/gauge totals into this collector.
+
+        Unlike :meth:`add_counter`/:meth:`set_gauge`, nothing is
+        attributed to the currently open span — adopted span trees
+        already carry their own per-span attribution.  One event per
+        name is emitted to the sink with ``span_id = None``.
+        """
+        for name in sorted(counters):
+            value = float(counters[name])
+            with self._lock:
+                total = self.counters.get(name, 0.0) + value
+                self.counters[name] = total
+            self._emit({
+                "type": "counter",
+                "ts": time.time(),
+                "span_id": None,
+                "name": name,
+                "delta": value,
+                "total": total,
+            })
+        for name in sorted(gauges):
+            value = float(gauges[name])
+            with self._lock:
+                self.gauges[name] = value
+            self._emit({
+                "type": "gauge",
+                "ts": time.time(),
+                "span_id": None,
+                "name": name,
+                "value": value,
+            })
+
+    # ------------------------------------------------------------------
     # Sink plumbing.
     # ------------------------------------------------------------------
 

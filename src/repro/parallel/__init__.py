@@ -1,0 +1,63 @@
+"""Deterministic process-pool execution engine.
+
+``repro.parallel`` turns the pipeline's embarrassingly parallel stages
+into pooled fan-outs while guaranteeing that results stay byte-identical
+to the serial run (the contract, and how it is kept, is documented in
+``docs/parallelism.md``):
+
+* :class:`ParallelConfig` / :func:`resolve_jobs` — one knob for worker
+  count (``--jobs`` / ``MEGSIM_JOBS`` / ``"auto"``) and chunking, with a
+  serial fallback at ``jobs=1``.
+* :func:`parallel_map` — the ordered-merge pool primitive every stage
+  builds on; worker observability comes back as
+  :class:`~repro.obs.ObsBuffer` and is merged into the parent collector.
+* :func:`profile_parallel` — the functional pass, fanned out in frame
+  chunks (layer 1 of the pipeline).
+* :func:`simulate_representatives` — cycle-accurate simulation of a
+  sampling plan's representatives, one independent frame per task
+  (layer 2).
+
+Whole-experiment fan-out (layer 3) lives with the entry points that own
+the experiment list: ``megsim all --jobs N`` and
+``scripts/run_full_experiments.py --jobs N`` dispatch experiments
+through :func:`parallel_map` directly.
+
+Quickstart::
+
+    from repro import MEGsim
+    from repro.parallel import (
+        ParallelConfig, profile_parallel, simulate_representatives,
+    )
+    from repro.workloads.benchmarks import make_benchmark
+
+    trace = make_benchmark("bbr1", scale=0.2)
+    jobs = ParallelConfig.from_cli("auto")
+    profile = profile_parallel(trace, parallel=jobs)
+    plan = MEGsim().plan_from_profile(profile)
+    reps = simulate_representatives(
+        trace, plan.representative_frames, parallel=jobs)
+    estimate = plan.estimate(dict(zip(reps.frame_ids, reps.frame_stats)))
+"""
+
+from repro.parallel.accurate import simulate_representatives
+from repro.parallel.config import (
+    JOBS_ENV_VAR,
+    ParallelConfig,
+    available_cpus,
+    chunk_indices,
+    resolve_jobs,
+)
+from repro.parallel.functional import profile_parallel
+from repro.parallel.pool import get_state, parallel_map
+
+__all__ = [
+    "JOBS_ENV_VAR",
+    "ParallelConfig",
+    "available_cpus",
+    "chunk_indices",
+    "get_state",
+    "parallel_map",
+    "profile_parallel",
+    "resolve_jobs",
+    "simulate_representatives",
+]

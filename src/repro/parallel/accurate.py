@@ -1,0 +1,112 @@
+"""Parallel cycle-accurate simulation of a plan's representative frames.
+
+MEGsim only ever cycle-simulates the representatives, and each
+representative stands for its *own* cluster — so the engine simulates
+every selected frame independently: a fresh
+:class:`~repro.gpu.hierarchy.MemorySystem` per frame, optionally warmed
+by re-simulating up to ``warmup_frames`` preceding frames first (the
+paper's ASSI reconstruction, Section II-C).  Frame independence is what
+makes the fan-out deterministic: the per-frame statistics do not depend
+on which worker simulated which frame or in what order, so the merged
+:class:`~repro.gpu.cycle_sim.SequenceResult` is byte-identical for any
+jobs value, including the ``jobs=1`` serial fallback.
+
+This deliberately differs from
+:meth:`CycleAccurateSimulator.simulate(trace, frame_ids=...)
+<repro.gpu.cycle_sim.CycleAccurateSimulator.simulate>`, which threads
+one memory system through the whole subset — cheap warmth, but each
+frame's statistics then depend on which *other* frames were selected,
+which is exactly the coupling a parallel engine must not have.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.gpu.config import GPUConfig
+from repro.gpu.cycle_sim import CycleAccurateSimulator, SequenceResult
+from repro.gpu.stats import FrameStats
+from repro.obs import span
+from repro.parallel.config import ParallelConfig
+from repro.parallel.pool import get_state, parallel_map
+from repro.scene.trace import WorkloadTrace
+
+
+def _simulate_one(frame_id: int) -> FrameStats:
+    """Worker: simulate one frame of the shared trace, independently."""
+    trace: WorkloadTrace = get_state("trace")
+    simulator: CycleAccurateSimulator = get_state("simulator")
+    warmup_frames: int = get_state("warmup_frames")
+    result = simulator.simulate(
+        trace, frame_ids=[frame_id], warmup_frames=warmup_frames
+    )
+    return result.frame_stats[0]
+
+
+def simulate_representatives(
+    trace: WorkloadTrace,
+    frame_ids,
+    config: GPUConfig | None = None,
+    parallel: ParallelConfig | None = None,
+    warmup_frames: int = 0,
+    cache_model: str = "region",
+) -> SequenceResult:
+    """Cycle-simulate selected frames independently across a pool.
+
+    Args:
+        trace: the workload the frames belong to.
+        frame_ids: the frames to simulate (e.g.
+            ``plan.representative_frames``); simulated and merged in
+            ascending frame-id order.
+        config: GPU configuration; ``None`` uses the Table I baseline.
+        parallel: pool configuration; ``None`` or ``jobs=1`` simulates
+            serially with identical per-frame results.
+        warmup_frames: preceding frames re-simulated (statistics
+            discarded) to warm each frame's fresh memory system.
+        cache_model: ``"region"`` (default) or ``"line"``, as on
+            :class:`CycleAccurateSimulator`.
+
+    Returns:
+        A :class:`SequenceResult` whose ``frame_stats`` line up with the
+        sorted frame ids; ``elapsed_seconds`` is the parent's wall-clock
+        for the whole fan-out.
+
+    Raises:
+        SimulationError: on an empty selection or out-of-range frame id.
+    """
+    selected = sorted(set(int(fid) for fid in frame_ids))
+    if not selected:
+        raise SimulationError("no frame ids selected for simulation")
+    for fid in selected:
+        if not 0 <= fid < trace.frame_count:
+            raise SimulationError(
+                f"frame id {fid} outside trace of {trace.frame_count} frames"
+            )
+    if warmup_frames < 0:
+        raise SimulationError(
+            f"warmup_frames must be >= 0, got {warmup_frames}"
+        )
+    pool_config = parallel if parallel is not None else ParallelConfig()
+    simulator = CycleAccurateSimulator(config, cache_model=cache_model)
+    with span(
+        "parallel.simulate_representatives",
+        trace=trace.name,
+        frames=len(selected),
+        warmup_frames=warmup_frames,
+        jobs=pool_config.jobs,
+    ) as timing:
+        stats = parallel_map(
+            _simulate_one,
+            selected,
+            parallel=pool_config,
+            state={
+                "trace": trace,
+                "simulator": simulator,
+                "warmup_frames": warmup_frames,
+            },
+        )
+    return SequenceResult(
+        trace_name=trace.name,
+        frame_ids=tuple(selected),
+        frame_stats=tuple(stats),
+        elapsed_seconds=timing.elapsed_seconds,
+    )

@@ -1,0 +1,139 @@
+"""Deterministic process-pool map with observability round-tripping.
+
+:func:`parallel_map` is the one primitive every pooled stage builds on:
+it applies a picklable worker function to a list of items and returns
+the results *in item order*, regardless of which worker finished first.
+Ordered results are what make parallel runs byte-identical to serial
+ones — callers merge by position, never by completion time.
+
+Mechanics:
+
+* ``jobs=1`` (the serial fallback) runs the same worker function inline,
+  in order, with the same worker state installed — so the serial and
+  pooled code paths are literally the same function applied to the same
+  items.
+* Workers receive shared, read-only state (a trace, a GPU config)
+  through :func:`get_state`, installed once per worker process by the
+  pool initializer.  Under the ``fork`` start method (preferred when
+  available) that state is inherited by copy-on-write and never
+  pickled; under ``spawn`` it is pickled once per worker, not once per
+  task.
+* Each pooled task runs under a private :class:`~repro.obs.Collector`;
+  its spans/counters come back as a picklable
+  :class:`~repro.obs.ObsBuffer` merged into the parent's collector in
+  item order (see :mod:`repro.obs.buffer`), so ``--trace`` and
+  ``--profile`` stay complete under parallelism.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
+from typing import Any, Callable, Iterable
+
+from repro.errors import ConfigError
+from repro.obs import capture_buffer, collecting, get_collector, merge_buffer
+from repro.parallel.config import ParallelConfig
+
+#: Shared read-only state of the current worker (or of the serial path).
+_WORKER_STATE: dict[str, Any] = {}
+
+
+def get_state(key: str) -> Any:
+    """Fetch one entry of the worker's shared state.
+
+    Raises:
+        ConfigError: when the key was never installed — the worker
+            function is being called outside :func:`parallel_map`.
+    """
+    try:
+        return _WORKER_STATE[key]
+    except KeyError:
+        raise ConfigError(
+            f"worker state {key!r} is not installed; call this function "
+            "through parallel_map(..., state={...})"
+        ) from None
+
+
+def _install_state(state: dict[str, Any]) -> None:
+    """(Re)install the worker-shared state (pool initializer)."""
+    _WORKER_STATE.clear()
+    _WORKER_STATE.update(state)
+
+
+def _run_buffered(fn: Callable[[Any], Any], item: Any):
+    """Run one task under a private collector; return (result, buffer)."""
+    with collecting() as collector:
+        result = fn(item)
+    return result, capture_buffer(collector)
+
+
+def _mp_context():
+    """The multiprocessing context: ``fork`` when available, else spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
+    *,
+    parallel: ParallelConfig | None = None,
+    state: dict[str, Any] | None = None,
+) -> list[Any]:
+    """Apply ``fn`` to every item, preserving item order in the results.
+
+    Args:
+        fn: a module-level (picklable) function of one item.
+        items: the work list; each item must be picklable when
+            ``parallel.jobs > 1``.
+        parallel: pool configuration; ``None`` or ``jobs=1`` runs
+            serially inline.
+        state: shared read-only state installed in every worker (and on
+            the serial path), readable via :func:`get_state`.
+
+    Returns:
+        ``[fn(item) for item in items]`` — computed by up to
+        ``parallel.jobs`` worker processes, merged back in item order.
+
+    Raises:
+        Whatever ``fn`` raises (worker exceptions propagate); plus
+        :class:`~repro.errors.ConfigError` for bad configuration.
+    """
+    config = parallel if parallel is not None else ParallelConfig()
+    work = list(items)
+    shared = dict(state) if state else {}
+    jobs = min(config.jobs, len(work)) if work else 1
+
+    if jobs <= 1:
+        previous = dict(_WORKER_STATE)
+        _install_state(shared)
+        try:
+            return [fn(item) for item in work]
+        finally:
+            _install_state(previous)
+
+    # Batch items so each worker gets a handful of tasks (load balance
+    # without per-item IPC).  Note config.chunk_size is *not* used here:
+    # it is the stage-level chunking knob consumed by chunk_indices().
+    chunksize = max(1, -(-len(work) // (jobs * 4)))
+    with ProcessPoolExecutor(
+        max_workers=jobs,
+        mp_context=_mp_context(),
+        initializer=_install_state,
+        initargs=(shared,),
+    ) as pool:
+        outcomes = list(
+            pool.map(partial(_run_buffered, fn), work, chunksize=chunksize)
+        )
+
+    collector = get_collector()
+    results = []
+    for result, buffer in outcomes:
+        results.append(result)
+        if collector is not None:
+            merge_buffer(collector, buffer)
+    return results

@@ -71,6 +71,62 @@ class TestBasics:
         assert result.wcss == pytest.approx(0.0)
 
 
+class TestEmptyClusterRepair:
+    """Regressions for the farthest-point refill on duplicate-heavy data.
+
+    The repair must never steal a cluster's sole member: doing so just
+    moves the hole, and on data with many coincident points the cascade
+    used to return clusterings with empty clusters (and a wcss computed
+    against labels that were later replaced).
+    """
+
+    def test_duplicate_heavy_data_keeps_all_clusters(self):
+        # Six coincident points and one outlier; a forced warm start
+        # puts two centroids on the duplicate pile, so the first Lloyd
+        # assignment empties one of them and triggers the repair.
+        points = np.array([[0.0]] * 6 + [[10.0]])
+        result = kmeans(
+            points, 3,
+            initial_centroids=np.array([[0.0], [0.0], [10.0]]),
+        )
+        assert result.cluster_sizes().min() >= 1
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_duplicate_heavy_seed_sweep(self, seed):
+        rng = np.random.default_rng(seed)
+        points = np.repeat(rng.normal(size=(3, 2)), (10, 10, 1), axis=0)
+        result = kmeans(points, 4, seed=seed)
+        assert result.cluster_sizes().min() >= 1
+
+    def test_singleton_cluster_survives_repair(self):
+        # The outlier is its cluster's only member and the farthest
+        # point from any centroid — the old repair stole it first.
+        points = np.array([[0.0, 0.0]] * 8 + [[100.0, 100.0]])
+        result = kmeans(
+            points, 3,
+            initial_centroids=np.array(
+                [[0.0, 0.0], [0.1, 0.1], [100.0, 100.0]]
+            ),
+        )
+        sizes = result.cluster_sizes()
+        assert sizes.min() >= 1
+        outlier_cluster = result.labels[-1]
+        assert sizes[outlier_cluster] == 1
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_wcss_matches_returned_assignment(self, seed):
+        rng = np.random.default_rng(seed)
+        points = np.repeat(rng.normal(size=(4, 3)), (7, 7, 7, 2), axis=0)
+        result = kmeans(points, 5, seed=seed)
+        manual = sum(
+            float(
+                ((points[result.labels == c] - result.centroids[c]) ** 2).sum()
+            )
+            for c in range(result.k)
+        )
+        assert result.wcss == pytest.approx(manual)
+
+
 class TestValidation:
     def test_k_zero(self):
         with pytest.raises(ClusteringError):

@@ -23,6 +23,30 @@ class TestPersistence:
             c.members for c in plan.clusters
         ]
 
+    def test_round_trip_cluster_sizes(self, plan, tmp_path):
+        """The restored clustering reports the real cluster populations.
+
+        Regression: the placeholder KMeansResult used to carry all-zero
+        labels, so ``search.clustering.cluster_sizes()`` lumped every
+        frame into cluster 0 after a reload.
+        """
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        restored = SamplingPlan.load(path)
+        original_sizes = [len(c.members) for c in plan.clusters]
+        assert list(restored.search.clustering.cluster_sizes()) == (
+            original_sizes
+        )
+        assert list(plan.search.clustering.cluster_sizes()) == original_sizes
+
+    def test_round_trip_labels(self, plan, tmp_path):
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        restored = SamplingPlan.load(path)
+        labels = restored.search.clustering.labels
+        for row, cluster in enumerate(restored.clusters):
+            assert all(labels[frame] == row for frame in cluster.members)
+
     def test_round_trip_search_record(self, plan, tmp_path):
         path = tmp_path / "plan.json"
         plan.save(path)

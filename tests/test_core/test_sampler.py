@@ -1,8 +1,12 @@
 """Tests for the MEGsim facade and sampling plans."""
 
+import numpy as np
 import pytest
 
-from repro.core.sampler import MEGsim, MEGsimOptions
+from repro.core.cluster_search import ClusterSearchResult
+from repro.core.kmeans import KMeansResult
+from repro.core.sampler import MEGsim, MEGsimOptions, SamplingPlan
+from repro.errors import AnalysisError
 from repro.gpu.cycle_sim import CycleAccurateSimulator
 from repro.gpu.functional_sim import FunctionalSimulator
 
@@ -44,6 +48,42 @@ class TestPlan:
         a = MEGsim(MEGsimOptions(seed=5)).plan(tiny_trace)
         b = MEGsim(MEGsimOptions(seed=5)).plan(tiny_trace)
         assert a.representative_frames == b.representative_frames
+
+
+def _clusterless_plan() -> SamplingPlan:
+    """A structurally valid plan whose clusters tuple is empty."""
+    clustering = KMeansResult(
+        centroids=np.zeros((0, 0)),
+        labels=np.zeros(0, dtype=np.int64),
+        wcss=0.0,
+        iterations=0,
+    )
+    search = ClusterSearchResult(
+        clustering=clustering,
+        chosen_k=0,
+        explored_k=(),
+        bic_scores=(),
+        threshold=0.85,
+    )
+    return SamplingPlan(
+        trace_name="empty",
+        total_frames=6,
+        clusters=(),
+        search=search,
+        features=np.zeros((6, 0)),
+    )
+
+
+class TestEmptyPlan:
+    """A plan without clusters must fail loudly, not with ZeroDivision."""
+
+    def test_reduction_factor_raises_analysis_error(self):
+        with pytest.raises(AnalysisError, match="no clusters"):
+            _clusterless_plan().reduction_factor
+
+    def test_estimate_raises_analysis_error(self):
+        with pytest.raises(AnalysisError, match="no clusters"):
+            _clusterless_plan().estimate({})
 
 
 class TestEstimate:

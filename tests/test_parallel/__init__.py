@@ -1,0 +1,1 @@
+"""Tests for the deterministic process-pool engine (repro.parallel)."""

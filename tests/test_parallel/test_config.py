@@ -1,0 +1,99 @@
+"""Tests for jobs resolution, ParallelConfig validation and chunking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.parallel import (
+    JOBS_ENV_VAR,
+    ParallelConfig,
+    available_cpus,
+    chunk_indices,
+    resolve_jobs,
+)
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_explicit_int(self):
+        assert resolve_jobs(3) == 3
+
+    def test_argparse_string(self):
+        assert resolve_jobs("4") == 4
+
+    def test_auto_uses_available_cpus(self):
+        assert resolve_jobs("auto") == available_cpus()
+        assert resolve_jobs("AUTO") == available_cpus()
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "5")
+        assert resolve_jobs(None) == 5
+
+    def test_env_auto(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "auto")
+        assert resolve_jobs(None) == available_cpus()
+
+    def test_blank_env_means_serial(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "  ")
+        assert resolve_jobs(None) == 1
+
+    def test_explicit_value_beats_env(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "7")
+        assert resolve_jobs(2) == 2
+
+    @pytest.mark.parametrize("bad", ["zero?", "1.5", 0, -2, "-1", True, 2.0])
+    def test_invalid_values_raise(self, bad):
+        with pytest.raises(ConfigError):
+            resolve_jobs(bad)
+
+    def test_available_cpus_positive(self):
+        assert available_cpus() >= 1
+
+
+class TestParallelConfig:
+    def test_defaults_are_serial(self):
+        config = ParallelConfig()
+        assert config.jobs == 1
+        assert config.chunk_size is None
+
+    @pytest.mark.parametrize("jobs", [0, -1, "2", True])
+    def test_bad_jobs_rejected(self, jobs):
+        with pytest.raises(ConfigError):
+            ParallelConfig(jobs=jobs)
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ConfigError):
+            ParallelConfig(jobs=2, chunk_size=0)
+
+    def test_from_cli_resolves(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        assert ParallelConfig.from_cli(None).jobs == 1
+        assert ParallelConfig.from_cli("2").jobs == 2
+        assert ParallelConfig.from_cli("auto").jobs == available_cpus()
+
+
+class TestChunkIndices:
+    def test_concatenation_covers_range(self):
+        for jobs in (1, 2, 3, 8):
+            for count in (1, 5, 17, 256):
+                chunks = chunk_indices(count, ParallelConfig(jobs=jobs))
+                indices = [
+                    i for start, stop in chunks for i in range(start, stop)
+                ]
+                assert indices == list(range(count))
+
+    def test_explicit_chunk_size(self):
+        chunks = chunk_indices(10, ParallelConfig(jobs=2, chunk_size=4))
+        assert chunks == [(0, 4), (4, 8), (8, 10)]
+
+    def test_empty_range(self):
+        assert chunk_indices(0, ParallelConfig(jobs=4)) == []
+
+    def test_default_size_scales_with_jobs(self):
+        # About four chunks per worker keeps the pool load-balanced.
+        chunks = chunk_indices(256, ParallelConfig(jobs=4))
+        assert len(chunks) == 16

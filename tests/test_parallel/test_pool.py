@@ -1,0 +1,118 @@
+"""Tests for the ordered-merge pool primitive (parallel_map)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import collecting, counter, span
+from repro.parallel import ParallelConfig, get_state, parallel_map
+
+
+# Worker functions must be module-level so the pool can pickle them.
+
+def _square(item: int) -> int:
+    return item * item
+
+
+def _shifted(item: int) -> int:
+    return item + get_state("offset")
+
+
+def _expects_missing_state(item: int) -> int:
+    return get_state("never-installed")
+
+
+def _explodes(item: int) -> int:
+    raise ValueError(f"boom on {item}")
+
+
+def _traced(item: int) -> int:
+    with span("pool.task", item=item):
+        counter("pool.tasks")
+    return item
+
+
+class TestParallelMap:
+    def test_serial_matches_list_comprehension(self):
+        items = list(range(20))
+        assert parallel_map(_square, items) == [_square(i) for i in items]
+
+    def test_pooled_preserves_item_order(self):
+        items = list(range(37))
+        result = parallel_map(
+            _square, items, parallel=ParallelConfig(jobs=2)
+        )
+        assert result == [_square(i) for i in items]
+
+    def test_pool_larger_than_work(self):
+        # jobs is clamped to the work size; a single item runs serially.
+        assert parallel_map(
+            _square, [3], parallel=ParallelConfig(jobs=8)
+        ) == [9]
+
+    def test_empty_items(self):
+        assert parallel_map(
+            _square, [], parallel=ParallelConfig(jobs=4)
+        ) == []
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_state_reaches_workers(self, jobs):
+        result = parallel_map(
+            _shifted,
+            [1, 2, 3],
+            parallel=ParallelConfig(jobs=jobs),
+            state={"offset": 100},
+        )
+        assert result == [101, 102, 103]
+
+    def test_missing_state_raises_config_error(self):
+        with pytest.raises(ConfigError):
+            parallel_map(_expects_missing_state, [1])
+
+    def test_serial_path_restores_previous_state(self):
+        parallel_map(_shifted, [1], state={"offset": 1})
+        with pytest.raises(ConfigError):
+            get_state("offset")
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_worker_exceptions_propagate(self, jobs):
+        with pytest.raises(ValueError, match="boom"):
+            parallel_map(
+                _explodes, [1, 2], parallel=ParallelConfig(jobs=jobs)
+            )
+
+
+class TestObsRoundTrip:
+    def test_worker_spans_merge_into_parent(self):
+        with collecting() as collector:
+            parallel_map(
+                _traced, list(range(6)), parallel=ParallelConfig(jobs=2)
+            )
+        assert [record.name for record in collector.roots] == [
+            "pool.task"
+        ] * 6
+        # Buffers merge in item order, so span attrs line up with items.
+        assert [record.attrs["item"] for record in collector.roots] == list(
+            range(6)
+        )
+        assert collector.counters["pool.tasks"] == 6
+
+    def test_serial_spans_record_directly(self):
+        with collecting() as collector:
+            parallel_map(_traced, list(range(4)))
+        assert len(collector.roots) == 4
+        assert collector.counters["pool.tasks"] == 4
+
+    def test_adopted_spans_nest_under_open_span(self):
+        with collecting() as collector:
+            with span("parent.fanout"):
+                parallel_map(
+                    _traced, [0, 1], parallel=ParallelConfig(jobs=2)
+                )
+        assert len(collector.roots) == 1
+        parent = collector.roots[0]
+        assert [child.name for child in parent.children] == [
+            "pool.task",
+            "pool.task",
+        ]
