@@ -15,11 +15,11 @@ and writes a timing summary to ``benchmarks/reports/obs_summary.txt``.
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 import pytest
 
+from repro.benchmark_support import pytest_bench_scale
 from repro.obs import Collector, render_report, set_collector
 
 REPORT_DIR = Path(__file__).parent / "reports"
@@ -27,7 +27,7 @@ REPORT_DIR = Path(__file__).parent / "reports"
 
 def bench_scale() -> float:
     """The sequence-length scale for this benchmark run."""
-    return float(os.environ.get("MEGSIM_BENCH_SCALE", "0.2"))
+    return pytest_bench_scale()
 
 
 @pytest.fixture(scope="session")

@@ -20,3 +20,12 @@ MEGSIM_JOBS=1 python -m pytest -x -q tests/test_parallel/test_determinism.py
 
 echo "== parallel determinism (MEGSIM_JOBS=auto) =="
 MEGSIM_JOBS=auto python -m pytest -x -q tests/test_parallel/test_determinism.py
+
+# The performance-regression gate (docs/benchmarking.md): run the smoke
+# benchmark suite and compare against the checked-in baseline.  Wall
+# time is enforced only on a platform matching the baseline's; accuracy
+# and work counters are enforced everywhere.  The generous threshold
+# absorbs shared-runner noise.
+echo "== bench smoke regression gate =="
+python -m repro bench --suite smoke --scale 0.05 \
+    --compare benchmarks/baselines/smoke.json --threshold 2.0

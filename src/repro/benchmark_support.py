@@ -1,8 +1,46 @@
-"""Small helpers shared by the pytest-benchmark harness."""
+"""Small helpers shared by the benchmark harnesses.
+
+Both benchmark front-ends — the pytest-benchmark files under
+``benchmarks/`` and the ``megsim bench`` subsystem (:mod:`repro.bench`)
+— agree here on frame-count scaling, the per-suite default scales and
+the artifact naming convention, so a ``BENCH_smoke.json`` produced by
+either means the same thing.
+"""
 
 from __future__ import annotations
+
+import os
+
+#: Default sequence-length scale per ``megsim bench`` suite: ``smoke``
+#: finishes in well under a minute, ``full`` matches the pytest
+#: benchmark harness default (MEGSIM_BENCH_SCALE=0.2).
+SUITE_SCALES: dict[str, float] = {"smoke": 0.05, "full": 0.2}
+
+#: Environment variable the pytest benchmark harness reads for its scale.
+BENCH_SCALE_ENV_VAR = "MEGSIM_BENCH_SCALE"
 
 
 def scaled_frames(frames: int, scale: float, minimum: int = 40) -> int:
     """Scale a paper frame count to the current bench scale."""
     return max(minimum, round(frames * scale))
+
+
+def pytest_bench_scale(default: float = 0.2) -> float:
+    """The pytest-benchmark harness scale (``MEGSIM_BENCH_SCALE``)."""
+    return float(os.environ.get(BENCH_SCALE_ENV_VAR, str(default)))
+
+
+def suite_scale(suite: str, override: float | None = None) -> float:
+    """The sequence-length scale for one ``megsim bench`` run.
+
+    An explicit ``--scale`` override wins; otherwise the suite default
+    from :data:`SUITE_SCALES` applies (1.0 for unknown suites).
+    """
+    if override is not None:
+        return float(override)
+    return SUITE_SCALES.get(suite, 1.0)
+
+
+def artifact_name(suite: str) -> str:
+    """Canonical artifact file name for a suite (``BENCH_<suite>.json``)."""
+    return f"BENCH_{suite}.json"

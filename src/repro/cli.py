@@ -8,13 +8,19 @@ Examples::
     megsim plan bbr1 --scale 0.2      # show a sampling plan
     megsim all --scale 0.25           # every experiment, in paper order
     megsim lint                       # static analysis (docs/linting.md)
+    megsim bench --suite smoke        # benchmark suite -> BENCH_smoke.json
 
 Observability (see ``docs/observability.md``): every command accepts
 ``--trace out.jsonl`` (stream span/counter/gauge events as JSON Lines,
 plus a run manifest ``out.manifest.json``), ``--profile`` (print a
-phase-timing report when done) and ``--manifest path.json``.  Setting the
-``MEGSIM_TRACE`` environment variable to a path is equivalent to passing
-``--trace`` with that path.
+phase-timing report when done), ``--manifest path.json`` and
+``--metrics path`` (export the run's histograms/counters as Prometheus
+text or JSON Lines).  Setting the ``MEGSIM_TRACE`` environment variable
+to a path is equivalent to passing ``--trace`` with that path.
+
+Benchmarking (see ``docs/benchmarking.md``): ``megsim bench`` runs a
+named suite, writes a schema-versioned artifact and, with ``--compare
+baseline.json``, exits non-zero on performance or accuracy regressions.
 """
 
 from __future__ import annotations
@@ -25,7 +31,9 @@ import sys
 from pathlib import Path
 
 from repro.analysis.experiments import EXPERIMENTS, run_experiment
+from repro.bench import DEFAULT_THRESHOLD, SUITES
 from repro.core.sampler import MEGsim, MEGsimOptions
+from repro.errors import ConfigError
 from repro.obs import (
     Collector,
     JsonlSink,
@@ -34,8 +42,15 @@ from repro.obs import (
     set_collector,
     span,
     wall_clock,
+    write_metrics,
 )
-from repro.parallel import ParallelConfig, parallel_map, profile_parallel
+from repro.parallel import (
+    JOBS_ENV_VAR,
+    ParallelConfig,
+    parallel_map,
+    profile_parallel,
+    resolve_jobs,
+)
 from repro.workloads.benchmarks import benchmark_aliases, make_benchmark
 
 
@@ -73,6 +88,12 @@ def _add_obs(parser: argparse.ArgumentParser) -> None:
         help="write a run manifest (config, seed, version, per-phase "
              "timings) to PATH; defaults to <trace>.manifest.json when "
              "--trace is given",
+    )
+    group.add_argument(
+        "--metrics", dest="metrics_out", metavar="PATH", default=None,
+        help="export the run's counters/gauges/histograms to PATH when "
+             "done: .jsonl/.json writes JSON Lines, anything else "
+             "Prometheus text exposition",
     )
 
 
@@ -129,6 +150,29 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale(trace)
     _add_obs(trace)
 
+    bench = commands.add_parser(
+        "bench", help="run a benchmark suite -> BENCH_<suite>.json"
+    )
+    bench.add_argument("--suite", choices=SUITES, default="smoke",
+                       help="which registered suite to run")
+    bench.add_argument("--scale", type=float, default=None,
+                       help="sequence-length scale override "
+                            "(default: the suite's own scale)")
+    bench.add_argument("--out", default=None,
+                       help="artifact path (default: BENCH_<suite>.json)")
+    bench.add_argument("--compare", dest="baseline", metavar="BASELINE",
+                       default=None,
+                       help="compare against a baseline artifact and exit "
+                            "non-zero on regressions")
+    bench.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                       help="regression threshold for --compare: "
+                            "current/baseline ratios above this fail "
+                            "(default %(default)s)")
+    bench.add_argument("--list", dest="list_benches", action="store_true",
+                       help="print the benchmark registry and exit")
+    _add_jobs(bench)
+    _add_obs(bench)
+
     lint = commands.add_parser(
         "lint", help="static analysis: determinism/layering/doc invariants"
     )
@@ -161,8 +205,9 @@ def main(argv: list[str] | None = None) -> int:
         getattr(args, "trace_out", None) or os.environ.get("MEGSIM_TRACE") or None
     )
     manifest_path = getattr(args, "manifest_out", None)
+    metrics_path = getattr(args, "metrics_out", None)
     profiling = bool(getattr(args, "profile", False))
-    if not (trace_path or manifest_path or profiling):
+    if not (trace_path or manifest_path or metrics_path or profiling):
         return _dispatch(args)
 
     sink = JsonlSink(trace_path) if trace_path else None
@@ -176,6 +221,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=MEGsimOptions().seed,
         config={"command": args.command},
     )
+    manifest.record_jobs(*_jobs_facts(args))
     try:
         with span(f"cli.{args.command}", command=args.command):
             return _dispatch(args)
@@ -193,8 +239,28 @@ def main(argv: list[str] | None = None) -> int:
             manifest_path = str(Path(trace_path).with_suffix(".manifest.json"))
         if manifest_path:
             manifest.write(manifest_path)
+        if metrics_path:
+            write_metrics(collector, metrics_path)
         if profiling:
             print(render_report(collector))
+
+
+def _jobs_facts(args: argparse.Namespace) -> tuple[str | None, int | None]:
+    """The (requested, resolved) parallelism facts for the manifest.
+
+    ``requested`` is the raw ``--jobs`` value, falling back to the
+    ``MEGSIM_JOBS`` environment variable; ``resolved`` is the worker
+    count it maps to, or ``None`` when the request is malformed (the
+    command itself will then fail with the real error message).
+    """
+    requested = getattr(args, "jobs", None)
+    if requested is None:
+        requested = os.environ.get(JOBS_ENV_VAR)
+    try:
+        resolved = resolve_jobs(getattr(args, "jobs", None))
+    except ConfigError:
+        resolved = None
+    return requested, resolved
 
 
 def _experiment_worker(item: tuple[str, float]) -> tuple[str, str]:
@@ -212,6 +278,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         print("experiments:", ", ".join(EXPERIMENTS))
         print("benchmarks:", ", ".join(benchmark_aliases()))
         return 0
+
+    if args.command == "bench":
+        return _bench(args)
 
     if args.command == "lint":
         from repro.lint.engine import main as lint_main
@@ -310,6 +379,47 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     return 1  # unreachable: argparse enforces the command set
+
+
+def _bench(args: argparse.Namespace) -> int:
+    """Run a benchmark suite; optionally gate against a baseline."""
+    from repro.bench import (
+        BENCHES,
+        compare_artifacts,
+        load_artifact,
+        regressions,
+        render_bench_report,
+        render_comparison,
+        run_suite,
+        write_artifact,
+    )
+    from repro.benchmark_support import artifact_name
+
+    if args.list_benches:
+        for name, spec in BENCHES.items():
+            suites = ",".join(spec.suites)
+            print(f"{name:<10s} [{suites:<11s}] {spec.description}")
+        return 0
+
+    artifact = run_suite(
+        args.suite,
+        scale=args.scale,
+        parallel=ParallelConfig.from_cli(args.jobs),
+        jobs_requested=args.jobs or os.environ.get(JOBS_ENV_VAR),
+    )
+    out = args.out if args.out else artifact_name(args.suite)
+    write_artifact(artifact, out)
+    print(render_bench_report(artifact))
+    print(f"wrote {out}")
+
+    if args.baseline:
+        deltas = compare_artifacts(
+            artifact, load_artifact(args.baseline), threshold=args.threshold
+        )
+        print(render_comparison(deltas, threshold=args.threshold))
+        if regressions(deltas):
+            return 1
+    return 0
 
 
 def _inspect(alias: str, scale: float) -> None:

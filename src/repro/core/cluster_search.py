@@ -18,7 +18,7 @@ import numpy as np
 from repro.errors import ClusteringError
 from repro.core.bic import bic_score
 from repro.core.kmeans import KMeansResult, kmeans
-from repro.obs import counter, span
+from repro.obs import counter, observe, span
 
 #: The paper's empirically chosen BIC-spread threshold.
 PAPER_THRESHOLD = 0.85
@@ -106,6 +106,9 @@ def search_clustering(
                 score = bic_score(points, result)
             counter("cluster.kmeans_runs", restarts)
             counter("cluster.kmeans_iterations", result.iterations)
+            # Integral samples only: shared-name histograms must merge
+            # with exact sums across worker buffers (docs/observability.md).
+            observe("cluster.kmeans_iterations", result.iterations)
             clusterings.append(result)
             scores.append(score)
             if len(scores) >= 2 and score < scores[-2]:

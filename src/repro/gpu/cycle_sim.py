@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
-from repro.obs import counter, gauge, get_collector, span
+from repro.obs import counter, gauge, get_collector, observe, span
 from repro.gpu.cache import CacheStats
 from repro.gpu.config import GPUConfig, default_config
 from repro.gpu.dram import DRAMStats
@@ -192,6 +192,10 @@ class CycleAccurateSimulator:
     @staticmethod
     def _record_gauges(stats: list[FrameStats]) -> None:
         """Surface the run's per-stage totals as gauges (tracing only)."""
+        for frame_stats in stats:
+            # Integral samples only: shared-name histograms must merge
+            # with exact sums across worker buffers (docs/observability.md).
+            observe("cycle.frame_dram_accesses", frame_stats.dram_accesses)
         totals = FrameStats.total(stats)
         gauge("cycle.cycles", totals.cycles)
         gauge("cycle.geometry_cycles", totals.geometry_cycles)

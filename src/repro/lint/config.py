@@ -30,6 +30,7 @@ DEFAULT_LAYERS: dict[str, int] = {
     "parallel": 5,
     "analysis": 5,
     "benchmark_support": 6,
+    "bench": 6,
     "lint": 6,
     "cli": 6,
     "__main__": 7,
@@ -78,6 +79,7 @@ class LintConfig:
             "repro": "src/repro/__init__.py",
             "repro.obs": "src/repro/obs/__init__.py",
             "repro.parallel": "src/repro/parallel/__init__.py",
+            "repro.bench": "src/repro/bench/__init__.py",
             "repro.lint": "src/repro/lint/__init__.py",
         }
     )

@@ -1,7 +1,7 @@
 """The lint engine: load project, run rules, apply baseline, report.
 
-``run_lint`` is the library entry point (used by the CLI, the test
-suite and the retired ``scripts/check_docs.py`` shim); ``main`` is the
+``run_lint`` is the library entry point (used by the CLI and the
+test suite); ``main`` is the
 ``python -m repro.lint`` / ``megsim lint`` command-line front end.
 """
 

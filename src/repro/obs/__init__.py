@@ -8,6 +8,13 @@ Everything the pipeline reports about itself flows through this package:
   :func:`collecting`.
 * :class:`JsonlSink` — streams every event to a JSON Lines file
   (:mod:`repro.obs.sink`; schema in ``docs/observability.md``).
+* :class:`Histogram` / :class:`Timer` / :class:`MetricsRegistry` —
+  streaming distribution aggregation with deterministic merge
+  (:mod:`repro.obs.metrics`), recorded via :func:`observe` and carried
+  across process boundaries inside :class:`ObsBuffer`.
+* :func:`render_prometheus` / :func:`render_metrics_jsonl` /
+  :func:`write_metrics` — byte-stable metric exporters
+  (:mod:`repro.obs.export`; the ``--metrics`` CLI flag).
 * :func:`render_report` — the ``--profile`` text summary
   (:mod:`repro.obs.report`).
 * :class:`RunManifest` / :func:`describe_version` — durable provenance
@@ -33,7 +40,13 @@ from repro.obs.buffer import (
     capture_buffer,
     merge_buffer,
 )
+from repro.obs.export import (
+    render_metrics_jsonl,
+    render_prometheus,
+    write_metrics,
+)
 from repro.obs.manifest import RunManifest, describe_version
+from repro.obs.metrics import Histogram, MetricsRegistry, Timer
 from repro.obs.report import render_report
 from repro.obs.sink import JsonlSink
 from repro.obs.trace import (
@@ -43,6 +56,7 @@ from repro.obs.trace import (
     counter,
     gauge,
     get_collector,
+    observe,
     set_collector,
     span,
     wall_clock,
@@ -54,6 +68,7 @@ __all__ = [
     "span",
     "counter",
     "gauge",
+    "observe",
     "collecting",
     "set_collector",
     "get_collector",
@@ -66,4 +81,10 @@ __all__ = [
     "RunManifest",
     "describe_version",
     "wall_clock",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "render_prometheus",
+    "render_metrics_jsonl",
+    "write_metrics",
 ]

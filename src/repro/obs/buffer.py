@@ -20,6 +20,11 @@ Contents of a buffer:
   the parent's totals via :meth:`Collector.absorb_totals` (they are
   deliberately *not* re-attributed to the parent's open span: the
   adopted span trees already carry the per-span attribution).
+* ``hists`` — the worker's histogram registry as serialized state,
+  folded in via :meth:`Collector.absorb_metrics`.  Histogram merges are
+  integer bucket-count additions, so the parent registry aggregates to
+  the same bytes for any worker count (the property ``megsim bench``
+  artifacts rely on).
 """
 
 from __future__ import annotations
@@ -58,11 +63,14 @@ class ObsBuffer:
         spans: the worker collector's completed root span trees.
         counters: the worker's global counter totals.
         gauges: the worker's global gauge values (last write wins).
+        hists: the worker's histogram registry state
+            (``name -> Histogram.to_dict()``).
     """
 
     spans: tuple[SpanDump, ...] = ()
     counters: dict = field(default_factory=dict)
     gauges: dict = field(default_factory=dict)
+    hists: dict = field(default_factory=dict)
 
     @property
     def span_count(self) -> int:
@@ -92,6 +100,7 @@ def capture_buffer(collector: Collector) -> ObsBuffer:
         spans=tuple(_dump_span(record) for record in collector.roots),
         counters=dict(collector.counters),
         gauges=dict(collector.gauges),
+        hists=collector.metrics.state(),
     )
 
 
@@ -122,3 +131,5 @@ def merge_buffer(collector: Collector, buffer: ObsBuffer) -> None:
     for dump in buffer.spans:
         collector.adopt(_rebuild_span(dump))
     collector.absorb_totals(buffer.counters, buffer.gauges)
+    if buffer.hists:
+        collector.absorb_metrics(buffer.hists)

@@ -1,0 +1,131 @@
+"""Machine-stable metric exporters: Prometheus text and JSON Lines.
+
+Both exporters render a :class:`~repro.obs.Collector`'s aggregates —
+counters, gauges and the histogram registry — as *byte-stable* text:
+names are sorted, floats use Python's shortest-round-trip ``repr`` and
+the layout carries no timestamps, so two collectors with equal state
+produce equal bytes.  That stability is load-bearing: the golden-file
+tests diff the output verbatim, and ``megsim bench`` artifacts embed the
+JSONL form for baseline comparison.
+
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (``# TYPE`` comments, ``_total`` counters, cumulative ``le`` histogram
+  buckets).  Point a scraper at a file written by ``--metrics m.prom``
+  or serve it however you like; the layer stays dependency-free.
+* :func:`render_metrics_jsonl` — one JSON object per metric per line,
+  schema-versioned via a header line, with full histogram state (not
+  just aggregates) so downstream tooling can re-merge.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from repro.obs.metrics import bucket_upper_bound
+from repro.obs.trace import Collector
+
+#: Version tag of the JSONL metrics schema (first line of the export).
+METRICS_SCHEMA_VERSION = 1
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(name: str, prefix: str = "megsim") -> str:
+    """A Prometheus-legal metric name: prefixed, punctuation to ``_``."""
+    sanitized = _INVALID.sub("_", name)
+    return f"{prefix}_{sanitized}" if prefix else sanitized
+
+
+def _fmt(value: float) -> str:
+    """Byte-stable number rendering: integral floats without ``.0``."""
+    number = float(value)
+    if number.is_integer() and abs(number) < 2 ** 53:
+        return str(int(number))
+    return repr(number)
+
+
+def render_prometheus(collector: Collector, prefix: str = "megsim") -> str:
+    """Render a collector's aggregates in Prometheus text exposition.
+
+    Counters become ``<name>_total``, gauges plain samples, histograms
+    the conventional cumulative-``le`` bucket series plus ``_sum`` and
+    ``_count``.  Everything is sorted by metric name; equal collector
+    state renders to equal bytes.
+    """
+    lines: list[str] = []
+    for name in sorted(collector.counters):
+        full = metric_name(name, prefix)
+        lines.append(f"# TYPE {full} counter")
+        lines.append(f"{full}_total {_fmt(collector.counters[name])}")
+    for name in sorted(collector.gauges):
+        full = metric_name(name, prefix)
+        lines.append(f"# TYPE {full} gauge")
+        lines.append(f"{full} {_fmt(collector.gauges[name])}")
+    for name in collector.metrics.names():
+        hist = collector.metrics.histogram(name)
+        full = metric_name(name, prefix)
+        lines.append(f"# TYPE {full} histogram")
+        cumulative = hist.zeros
+        if hist.zeros:
+            lines.append(f'{full}_bucket{{le="0"}} {hist.zeros}')
+        for index in sorted(hist.buckets):
+            cumulative += hist.buckets[index]
+            edge = _fmt(bucket_upper_bound(index))
+            lines.append(f'{full}_bucket{{le="{edge}"}} {cumulative}')
+        lines.append(f'{full}_bucket{{le="+Inf"}} {hist.count}')
+        lines.append(f"{full}_sum {_fmt(hist.total)}")
+        lines.append(f"{full}_count {hist.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_metrics_jsonl(collector: Collector) -> str:
+    """Render a collector's aggregates as schema-versioned JSON Lines.
+
+    Line 1 is a header object (``schema``/``version``); every following
+    line is one metric: counters and gauges as ``{type, name, value}``,
+    histograms as ``{type, name, aggregates, state}`` where ``state`` is
+    the mergeable :meth:`~repro.obs.metrics.Histogram.to_dict` form.
+    Lines are sorted by type rank (counter, gauge, histogram) then name.
+    """
+    lines = [json.dumps(
+        {"schema": "megsim-metrics", "version": METRICS_SCHEMA_VERSION},
+        sort_keys=True,
+    )]
+    for name in sorted(collector.counters):
+        lines.append(json.dumps(
+            {"type": "counter", "name": name,
+             "value": collector.counters[name]},
+            sort_keys=True,
+        ))
+    for name in sorted(collector.gauges):
+        lines.append(json.dumps(
+            {"type": "gauge", "name": name, "value": collector.gauges[name]},
+            sort_keys=True,
+        ))
+    for name in collector.metrics.names():
+        hist = collector.metrics.histogram(name)
+        lines.append(json.dumps(
+            {"type": "histogram", "name": name,
+             "aggregates": hist.aggregates(), "state": hist.to_dict()},
+            sort_keys=True,
+        ))
+    return "\n".join(lines) + "\n"
+
+
+def write_metrics(collector: Collector, path) -> str:
+    """Write a metrics export chosen by file extension; returns the text.
+
+    ``.jsonl``/``.json`` get the JSONL form, anything else (``.prom``,
+    ``.txt``, ...) the Prometheus text exposition.
+    """
+    target = Path(path)
+    if target.suffix in (".jsonl", ".json"):
+        text = render_metrics_jsonl(collector)
+    else:
+        text = render_prometheus(collector)
+    if target.parent != Path(""):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(text)
+    return text

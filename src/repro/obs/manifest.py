@@ -62,6 +62,13 @@ class RunManifest:
         config: free-form extra configuration worth recording.
         version: :func:`describe_version` at construction time.
         python / platform: interpreter and OS identification.
+        jobs_requested / jobs_resolved: the run's parallelism config —
+            the raw ``--jobs``/``MEGSIM_JOBS`` request and the concrete
+            worker count it resolved to (see :meth:`record_jobs`).
+            Execution facts, like the wall-clock window: recorded for
+            perf-artifact attribution but excluded from the fingerprint,
+            because results are byte-identical for any worker count
+            (``docs/parallelism.md``).
         started_at / finished_at: UTC ISO-8601 wall-clock window.
         phases: per-span-name timing aggregate (``name``, ``count``,
             ``total_seconds``), filled by :meth:`finish`.
@@ -76,6 +83,8 @@ class RunManifest:
     version: str = field(default_factory=describe_version)
     python: str = field(default_factory=lambda: sys.version.split()[0])
     platform: str = field(default_factory=_platform.platform)
+    jobs_requested: str | None = None
+    jobs_resolved: int | None = None
     started_at: str | None = None
     finished_at: str | None = None
     phases: list = field(default_factory=list)
@@ -100,6 +109,26 @@ class RunManifest:
             config=dict(config or {}),
             started_at=_utcnow(),
         )
+
+    def record_jobs(
+        self, requested, resolved: int | None
+    ) -> "RunManifest":
+        """Record the run's parallelism configuration.
+
+        Args:
+            requested: the raw ``--jobs`` / ``MEGSIM_JOBS`` value
+                (``None`` when neither was given; stored as a string).
+            resolved: the concrete worker count the request resolved to
+                (``None`` when resolution failed or never happened).
+
+        The fields are execution facts — :meth:`identity` and therefore
+        :meth:`fingerprint` deliberately ignore them, since the
+        determinism contract makes results independent of the worker
+        count.
+        """
+        self.jobs_requested = None if requested is None else str(requested)
+        self.jobs_resolved = None if resolved is None else int(resolved)
+        return self
 
     def finish(self, collector=None) -> "RunManifest":
         """Stamp the end time and absorb a collector's aggregates."""
@@ -147,6 +176,10 @@ class RunManifest:
             **self.identity(),
             "fingerprint": self.fingerprint(),
             "platform": self.platform,
+            "jobs": {
+                "requested": self.jobs_requested,
+                "resolved": self.jobs_resolved,
+            },
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "phases": self.phases,

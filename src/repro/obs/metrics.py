@@ -1,0 +1,355 @@
+"""Metric aggregation: streaming histograms, timers and a registry.
+
+The observability primitives in :mod:`repro.obs.trace` answer "what
+happened" (spans) and "how much in total" (counters/gauges); this module
+answers "how was it *distributed*" — per-frame cycle counts, k-means
+iteration counts, per-phase timings — without retaining every sample.
+
+Design constraints, in order:
+
+1. **Determinism.**  A :class:`Histogram` must aggregate to the same
+   bytes whether its samples arrived in one process or were merged back
+   from worker :class:`~repro.obs.ObsBuffer`\\ s (``--jobs N``).  Bucket
+   indices are therefore computed with :func:`math.frexp` — exact
+   floating-point decomposition, no transcendental libm calls — and a
+   merge is an integer bucket-count addition, which is commutative and
+   associative.
+2. **Bounded memory.**  O(buckets), not O(samples): a sample updates a
+   count in a dict plus four scalars (count/sum/min/max).
+3. **Useful percentiles.**  Buckets are log-spaced with
+   :data:`SUBBUCKETS` subdivisions per power of two, giving a worst-case
+   relative quantile error of ``1/SUBBUCKETS`` (6.25% at the default 16);
+   exact ``min``/``max`` clamp the estimate, so single-sample and
+   extreme quantiles are exact.
+
+Everything here is plain data + arithmetic; the module deliberately does
+not import the tracing machinery, so :mod:`repro.obs.trace` can build on
+it without a cycle.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import ConfigError
+
+#: Log-spaced subdivisions per power of two (quantile resolution 1/16).
+SUBBUCKETS = 16
+
+#: Schema tag embedded in serialized histogram state.
+STATE_VERSION = 1
+
+#: The quantiles every aggregate report includes.
+DEFAULT_QUANTILES = (50.0, 90.0, 99.0)
+
+
+def bucket_index(value: float) -> int:
+    """The histogram bucket of a positive finite value.
+
+    The value is decomposed exactly as ``value = m * 2**e`` with
+    ``m in [0.5, 1)`` (:func:`math.frexp`), then the mantissa range is
+    split into :data:`SUBBUCKETS` linear sub-buckets.  Pure integer/float
+    arithmetic — equal inputs give equal indices on every platform.
+    """
+    mantissa, exponent = math.frexp(value)
+    sub = int((mantissa - 0.5) * 2.0 * SUBBUCKETS)
+    if sub >= SUBBUCKETS:  # mantissa rounding at the top edge
+        sub = SUBBUCKETS - 1
+    return exponent * SUBBUCKETS + sub
+
+
+def bucket_upper_bound(index: int) -> float:
+    """The exclusive upper edge of a bucket (its reported quantile value)."""
+    exponent, sub = divmod(index, SUBBUCKETS)
+    return (0.5 + (sub + 1) / (2.0 * SUBBUCKETS)) * 2.0 ** exponent
+
+
+class Histogram:
+    """A streaming, mergeable distribution of non-negative samples.
+
+    Tracks exact ``count``/``sum``/``min``/``max`` plus log-spaced bucket
+    counts for quantile estimation.  Merging two histograms is exact for
+    everything except ``sum`` (float addition), and ``sum`` too is exact
+    when samples are integers below 2**53 — which covers every
+    deterministic quantity this project records (frames, iterations,
+    cycles).
+
+    Attributes:
+        name: the metric name (dotted, optionally ``"<ns>/<metric>"``).
+        count: total samples recorded.
+        total: sum of all samples.
+        minimum / maximum: exact extremes (``None`` while empty).
+        zeros: samples equal to 0.0 (they have no log bucket).
+        buckets: ``bucket_index -> sample count`` for positive samples.
+    """
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum", "zeros",
+                 "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum: float | None = None
+        self.maximum: float | None = None
+        self.zeros = 0
+        self.buckets: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Recording and merging.
+    # ------------------------------------------------------------------
+
+    def record(self, value: float) -> None:
+        """Add one sample.
+
+        Raises:
+            ConfigError: on negative, NaN or infinite values — the
+                supported domain is non-negative finite measurements
+                (durations, counts, errors).
+        """
+        number = float(value)
+        if not math.isfinite(number) or number < 0.0:
+            raise ConfigError(
+                f"histogram {self.name!r} accepts finite values >= 0, "
+                f"got {value!r}"
+            )
+        self.count += 1
+        self.total += number
+        if self.minimum is None or number < self.minimum:
+            self.minimum = number
+        if self.maximum is None or number > self.maximum:
+            self.maximum = number
+        if number == 0.0:
+            self.zeros += 1
+        else:
+            index = bucket_index(number)
+            self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's state into this one (bucket adds)."""
+        self.count += other.count
+        self.total += other.total
+        self.zeros += other.zeros
+        for index, hits in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + hits
+        if other.minimum is not None and (
+            self.minimum is None or other.minimum < self.minimum
+        ):
+            self.minimum = other.minimum
+        if other.maximum is not None and (
+            self.maximum is None or other.maximum > self.maximum
+        ):
+            self.maximum = other.maximum
+
+    # ------------------------------------------------------------------
+    # Aggregates.
+    # ------------------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the samples (0.0 while empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile estimate, clamped to [min, max].
+
+        The bucket containing the rank contributes its upper edge; the
+        exact extremes then clamp the result, so ``percentile(0)`` /
+        ``percentile(100)`` (and any percentile of a single sample) are
+        exact.  Returns 0.0 for an empty histogram.
+
+        Raises:
+            ConfigError: when ``q`` is outside [0, 100].
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ConfigError(f"percentile must be in [0, 100], got {q!r}")
+        if self.count == 0:
+            return 0.0
+        if q == 0.0:
+            return self.minimum if self.minimum is not None else 0.0
+        rank = max(1, math.ceil(q / 100.0 * self.count))
+        if rank <= self.zeros:
+            estimate = 0.0
+        else:
+            remaining = rank - self.zeros
+            estimate = self.maximum if self.maximum is not None else 0.0
+            for index in sorted(self.buckets):
+                remaining -= self.buckets[index]
+                if remaining <= 0:
+                    estimate = bucket_upper_bound(index)
+                    break
+        low = self.minimum if self.minimum is not None else 0.0
+        high = self.maximum if self.maximum is not None else 0.0
+        return min(max(estimate, low), high)
+
+    def aggregates(
+        self, quantiles: tuple[float, ...] = DEFAULT_QUANTILES
+    ) -> dict:
+        """The summary row every report/artifact quotes."""
+        summary = {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+        for q in quantiles:
+            summary[f"p{q:g}"] = self.percentile(q)
+        return summary
+
+    # ------------------------------------------------------------------
+    # Serialization (ObsBuffer round trips, BENCH_*.json artifacts).
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-data state; JSON- and pickle-friendly, schema-tagged."""
+        return {
+            "state_version": STATE_VERSION,
+            "subbuckets": SUBBUCKETS,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "zeros": self.zeros,
+            "buckets": {str(index): hits
+                        for index, hits in sorted(self.buckets.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, name: str, state: dict) -> "Histogram":
+        """Rebuild a histogram from :meth:`to_dict` output.
+
+        Raises:
+            ConfigError: when the state was produced with a different
+                bucketing resolution (merging would silently misbin).
+        """
+        if state.get("subbuckets", SUBBUCKETS) != SUBBUCKETS:
+            raise ConfigError(
+                f"histogram {name!r} state uses "
+                f"{state.get('subbuckets')} subbuckets, this build "
+                f"expects {SUBBUCKETS}"
+            )
+        hist = cls(name)
+        hist.count = int(state["count"])
+        hist.total = float(state["sum"])
+        hist.minimum = None if state["min"] is None else float(state["min"])
+        hist.maximum = None if state["max"] is None else float(state["max"])
+        hist.zeros = int(state.get("zeros", 0))
+        hist.buckets = {
+            int(index): int(hits)
+            for index, hits in state.get("buckets", {}).items()
+        }
+        return hist
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Histogram({self.name!r}, count={self.count}, "
+                f"mean={self.mean:.6g})")
+
+
+class Timer:
+    """A histogram of wall-time durations with a context-manager face.
+
+    ``Timer`` is the bridge between the span world and the metrics world:
+    each :meth:`time` block records its duration (seconds) into the
+    underlying :class:`Histogram`, so repeated phases get p50/p90/p99
+    instead of just a total.  Timings are inherently non-deterministic;
+    artifacts must keep them out of any byte-compared section.
+    """
+
+    __slots__ = ("histogram",)
+
+    def __init__(self, name: str) -> None:
+        self.histogram = Histogram(name)
+
+    @property
+    def name(self) -> str:
+        """The metric name (delegates to the underlying histogram)."""
+        return self.histogram.name
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        """Record the wall time of the enclosed block as one sample."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.histogram.record(time.perf_counter() - started)
+
+    def record_seconds(self, seconds: float) -> None:
+        """Record an externally measured duration (e.g. a span's)."""
+        self.histogram.record(seconds)
+
+
+class MetricsRegistry:
+    """Named histograms/timers with deterministic, mergeable state.
+
+    One registry lives on every :class:`~repro.obs.Collector`; worker
+    registries travel inside :class:`~repro.obs.ObsBuffer` as plain state
+    dicts and are folded back with :meth:`merge_state` — bucket-count
+    addition, so the merged registry is byte-identical however the work
+    was partitioned.
+    """
+
+    __slots__ = ("_hists",)
+
+    def __init__(self) -> None:
+        self._hists: dict[str, Histogram] = {}
+
+    def __len__(self) -> int:
+        return len(self._hists)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._hists
+
+    def names(self) -> list[str]:
+        """Registered metric names, sorted."""
+        return sorted(self._hists)
+
+    def histogram(self, name: str) -> Histogram:
+        """Fetch (creating if needed) the histogram called ``name``."""
+        hist = self._hists.get(name)
+        if hist is None:
+            hist = self._hists[name] = Histogram(name)
+        return hist
+
+    def timer(self, name: str) -> Timer:
+        """A :class:`Timer` view over the histogram called ``name``."""
+        timer = Timer.__new__(Timer)
+        timer.histogram = self.histogram(name)
+        return timer
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into the named histogram."""
+        self.histogram(name).record(value)
+
+    def state(self) -> dict:
+        """``name -> Histogram.to_dict()`` for every metric, sorted."""
+        return {name: self._hists[name].to_dict()
+                for name in sorted(self._hists)}
+
+    def merge_state(self, state: dict) -> None:
+        """Fold serialized registry state (:meth:`state`) into this one."""
+        for name in sorted(state):
+            incoming = Histogram.from_dict(name, state[name])
+            if name in self._hists:
+                self._hists[name].merge(incoming)
+            else:
+                self._hists[name] = incoming
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another live registry into this one."""
+        for name in sorted(other._hists):
+            incoming = other._hists[name]
+            if name in self._hists:
+                self._hists[name].merge(incoming)
+            else:
+                copy = Histogram.from_dict(name, incoming.to_dict())
+                self._hists[name] = copy
+
+    def aggregates(self) -> dict:
+        """``name -> Histogram.aggregates()`` for every metric, sorted."""
+        return {name: self._hists[name].aggregates()
+                for name in sorted(self._hists)}

@@ -65,4 +65,17 @@ def render_report(collector: Collector, top: int = 20) -> str:
         for name in sorted(collector.gauges):
             lines.append(f"{name:<44} {collector.gauges[name]:>14.6g}")
 
+    if len(collector.metrics):
+        lines.append("")
+        lines.append(
+            f"{'histogram':<30} {'count':>7} {'mean':>10} {'p50':>10} "
+            f"{'p90':>10} {'p99':>10} {'max':>10}"
+        )
+        for name, row in collector.metrics.aggregates().items():
+            lines.append(
+                f"{name:<30} {row['count']:>7} {row['mean']:>10.4g} "
+                f"{row['p50']:>10.4g} {row['p90']:>10.4g} "
+                f"{row['p99']:>10.4g} {row['max']:>10.4g}"
+            )
+
     return "\n".join(lines)

@@ -11,6 +11,10 @@ layered visibility Daisen builds for Akita-based simulators):
   *and* aggregated globally.
 * :func:`gauge` — a last-value-wins named measurement (total cycles of the
   most recent simulation, chosen k).
+* :func:`observe` — a histogram sample (per-frame cycles, per-search
+  k-means iterations), aggregated by the collector's
+  :class:`~repro.obs.metrics.MetricsRegistry` into streaming
+  min/mean/max/percentiles.
 
 Recording is opt-in: all three are no-ops unless a :class:`Collector` has
 been installed with :func:`set_collector` (the CLI does this for
@@ -33,6 +37,8 @@ import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Iterator
+
+from repro.obs.metrics import MetricsRegistry
 
 
 class Span:
@@ -100,8 +106,10 @@ class Collector:
         spans: every completed span, in completion order.
         counters: global counter totals.
         gauges: global last-written gauge values.
+        metrics: the :class:`~repro.obs.metrics.MetricsRegistry` holding
+            every histogram recorded via :meth:`observe`.
         sink: optional event sink (e.g. :class:`repro.obs.JsonlSink`)
-            receiving one dict per span/counter/gauge event.
+            receiving one dict per span/counter/gauge/observe event.
     """
 
     def __init__(self, sink=None) -> None:
@@ -110,6 +118,7 @@ class Collector:
         self.spans: list[Span] = []
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
+        self.metrics = MetricsRegistry()
         self._lock = threading.Lock()
         self._local = threading.local()
         self._ids = itertools.count(1)
@@ -219,6 +228,26 @@ class Collector:
         })
         return number
 
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into the named histogram.
+
+        Histograms aggregate globally only (no per-span attribution —
+        the distribution of a metric is a whole-run notion); the raw
+        sample is still emitted to the sink so a trace file retains full
+        resolution.
+        """
+        record = self.current_span()
+        number = float(value)
+        with self._lock:
+            self.metrics.observe(name, number)
+        self._emit({
+            "type": "observe",
+            "ts": time.time(),
+            "span_id": record.span_id if record is not None else None,
+            "name": name,
+            "value": number,
+        })
+
     # ------------------------------------------------------------------
     # Worker-buffer merging (see repro.obs.buffer).
     # ------------------------------------------------------------------
@@ -307,6 +336,27 @@ class Collector:
                 "span_id": None,
                 "name": name,
                 "value": value,
+            })
+
+    def absorb_metrics(self, state: dict) -> None:
+        """Fold a worker registry's serialized histogram state in.
+
+        The merge is an integer bucket-count addition
+        (:meth:`~repro.obs.metrics.MetricsRegistry.merge_state`), so the
+        final registry is byte-identical however samples were partitioned
+        across workers.  One ``histogram`` event per name is emitted to
+        the sink with the *incoming* state, mirroring how
+        :meth:`absorb_totals` reports counter deltas.
+        """
+        with self._lock:
+            self.metrics.merge_state(state)
+        for name in sorted(state):
+            self._emit({
+                "type": "histogram",
+                "ts": time.time(),
+                "span_id": None,
+                "name": name,
+                "state": state[name],
             })
 
     # ------------------------------------------------------------------
@@ -412,3 +462,10 @@ def gauge(name: str, value: float) -> float | None:
     if collector is None:
         return None
     return collector.set_gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram sample; no-op when tracing is disabled."""
+    collector = _active
+    if collector is not None:
+        collector.observe(name, value)

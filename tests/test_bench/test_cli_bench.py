@@ -1,0 +1,92 @@
+"""``megsim bench`` end to end: artifacts, gating exit codes, --jobs."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench import load_artifact
+from repro.cli import main
+
+
+def _deterministic(artifact: dict) -> str:
+    return json.dumps(
+        {
+            "benchmarks": {
+                name: section["results"]
+                for name, section in artifact["benchmarks"].items()
+            },
+            "metrics": artifact["metrics"],
+            "fingerprint": artifact["manifest"]["fingerprint"],
+        },
+        sort_keys=True,
+    )
+
+
+class TestList:
+    def test_lists_registry(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out and "smoke" in out
+
+
+class TestRun:
+    def test_writes_schema_versioned_artifact(self, tiny_registry, tmp_path):
+        out = tmp_path / "BENCH_smoke.json"
+        assert main(["bench", "--suite", "smoke", "--out", str(out)]) == 0
+        artifact = load_artifact(out)
+        assert artifact["schema"] == "megsim-bench"
+        assert set(artifact["benchmarks"]) == {"tiny1", "tiny2"}
+
+    def test_jobs_env_gives_byte_identical_results(
+        self, tiny_registry, tmp_path, monkeypatch
+    ):
+        serial = tmp_path / "serial.json"
+        pooled = tmp_path / "pooled.json"
+        monkeypatch.setenv("MEGSIM_JOBS", "1")
+        assert main(["bench", "--out", str(serial)]) == 0
+        monkeypatch.setenv("MEGSIM_JOBS", "auto")
+        assert main(["bench", "--out", str(pooled)]) == 0
+        first = _deterministic(load_artifact(serial))
+        second = _deterministic(load_artifact(pooled))
+        assert first == second
+
+    def test_metrics_export_flag(self, tiny_registry, tmp_path):
+        out = tmp_path / "a.json"
+        metrics = tmp_path / "metrics.prom"
+        assert main([
+            "bench", "--out", str(out), "--metrics", str(metrics),
+        ]) == 0
+        assert "# TYPE " in metrics.read_text()
+
+
+class TestCompareGate:
+    def _doctor(self, artifact: dict, factor: float) -> dict:
+        doctored = json.loads(json.dumps(artifact))
+        for section in doctored["benchmarks"].values():
+            section["timing"]["wall_seconds"] *= factor
+        doctored["total_wall_seconds"] *= factor
+        return doctored
+
+    def test_slower_baseline_exits_zero(self, tiny_registry, tmp_path):
+        out = tmp_path / "a.json"
+        assert main(["bench", "--out", str(out)]) == 0
+        baseline = tmp_path / "slow.json"
+        baseline.write_text(
+            json.dumps(self._doctor(load_artifact(out), 100.0))
+        )
+        assert main([
+            "bench", "--out", str(tmp_path / "b.json"),
+            "--compare", str(baseline), "--threshold", "1.15",
+        ]) == 0
+
+    def test_faster_baseline_exits_nonzero(self, tiny_registry, tmp_path):
+        out = tmp_path / "a.json"
+        assert main(["bench", "--out", str(out)]) == 0
+        baseline = tmp_path / "fast.json"
+        baseline.write_text(
+            json.dumps(self._doctor(load_artifact(out), 1.0 / 100.0))
+        )
+        assert main([
+            "bench", "--out", str(tmp_path / "b.json"),
+            "--compare", str(baseline), "--threshold", "1.15",
+        ]) == 1

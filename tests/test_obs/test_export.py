@@ -1,0 +1,115 @@
+"""Metric exporters: golden files, name sanitization, dispatch."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs import Collector, Histogram, write_metrics
+from repro.obs.export import (
+    METRICS_SCHEMA_VERSION,
+    metric_name,
+    render_metrics_jsonl,
+    render_prometheus,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _collector() -> Collector:
+    """A fixed collector; the golden files pin its rendering verbatim."""
+    collector = Collector()
+    collector.add_counter("cycle.frames_simulated", 48)
+    collector.add_counter("cluster.seeds", 2.5)
+    collector.set_gauge("cycle.cycles", 1250000.0)
+    collector.set_gauge("sampler.threshold", 0.25)
+    for value in (2.0, 3.0, 4.0):
+        collector.observe("cluster.kmeans_iterations", value)
+    for value in (0.0, 0.5, 1.5, 2.5):
+        collector.observe("bench/x", value)
+    return collector
+
+
+class TestMetricName:
+    def test_sanitizes_punctuation(self):
+        assert metric_name("bench/x") == "megsim_bench_x"
+        assert metric_name("cycle.frames-simulated") == (
+            "megsim_cycle_frames_simulated"
+        )
+
+    def test_prefix_optional(self):
+        assert metric_name("a.b", prefix="") == "a_b"
+
+
+class TestGolden:
+    def test_prometheus_matches_golden(self):
+        golden = (GOLDEN_DIR / "metrics.prom").read_text()
+        assert render_prometheus(_collector()) == golden
+
+    def test_jsonl_matches_golden(self):
+        golden = (GOLDEN_DIR / "metrics.jsonl").read_text()
+        assert render_metrics_jsonl(_collector()) == golden
+
+    def test_byte_stable_across_collectors(self):
+        assert render_prometheus(_collector()) == render_prometheus(
+            _collector()
+        )
+        assert render_metrics_jsonl(_collector()) == render_metrics_jsonl(
+            _collector()
+        )
+
+
+class TestJsonlShape:
+    def test_header_then_metrics(self):
+        lines = render_metrics_jsonl(_collector()).splitlines()
+        header = json.loads(lines[0])
+        assert header == {
+            "schema": "megsim-metrics", "version": METRICS_SCHEMA_VERSION,
+        }
+        kinds = [json.loads(line)["type"] for line in lines[1:]]
+        assert kinds == sorted(kinds, key=("counter", "gauge",
+                                           "histogram").index)
+
+    def test_histogram_state_is_remergeable(self):
+        collector = _collector()
+        for line in render_metrics_jsonl(collector).splitlines()[1:]:
+            row = json.loads(line)
+            if row["type"] != "histogram":
+                continue
+            rebuilt = Histogram.from_dict(row["name"], row["state"])
+            original = collector.metrics.histogram(row["name"])
+            assert rebuilt.to_dict() == original.to_dict()
+            assert row["aggregates"] == original.aggregates()
+
+
+class TestPrometheusShape:
+    def test_cumulative_buckets(self):
+        text = render_prometheus(_collector())
+        hist_lines = [line for line in text.splitlines()
+                      if line.startswith("megsim_bench_x_bucket")]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in hist_lines]
+        assert counts == sorted(counts)
+        assert hist_lines[0].endswith('le="0"} 1')  # the zero sample
+        assert hist_lines[-1].startswith('megsim_bench_x_bucket{le="+Inf"}')
+        assert counts[-1] == 4
+
+    def test_empty_collector(self):
+        assert render_prometheus(Collector()) == ""
+        lines = render_metrics_jsonl(Collector()).splitlines()
+        assert len(lines) == 1  # header only
+
+
+class TestWriteMetrics:
+    def test_extension_dispatch(self, tmp_path):
+        collector = _collector()
+        jsonl = write_metrics(collector, tmp_path / "out.jsonl")
+        assert jsonl.startswith('{"schema"')
+        assert (tmp_path / "out.jsonl").read_text() == jsonl
+        prom = write_metrics(collector, tmp_path / "out.prom")
+        assert prom.startswith("# TYPE ")
+        assert (tmp_path / "out.prom").read_text() == prom
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "m.prom"
+        write_metrics(_collector(), target)
+        assert target.is_file()

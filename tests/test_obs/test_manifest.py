@@ -99,6 +99,32 @@ class TestFinish:
         assert manifest.finished_at is not None
 
 
+class TestJobs:
+    def test_recorded_in_to_dict(self):
+        manifest = _begin().record_jobs("auto", 8)
+        payload = manifest.to_dict()
+        assert payload["jobs"] == {"requested": "auto", "resolved": 8}
+
+    def test_unset_jobs_serialize_as_none(self):
+        payload = _begin().to_dict()
+        assert payload["jobs"] == {"requested": None, "resolved": None}
+
+    def test_fingerprint_stable_across_worker_counts(self):
+        # The determinism contract (docs/parallelism.md): results are
+        # byte-identical for any jobs value, so the worker count is an
+        # execution fact and must not perturb the run's identity.
+        serial = _begin().record_jobs(None, 1)
+        pooled = _begin().record_jobs("auto", 16)
+        assert serial.fingerprint() == pooled.fingerprint()
+        assert serial.identity() == pooled.identity()
+        assert "jobs" not in serial.identity()
+
+    def test_requested_stored_as_string(self):
+        manifest = _begin().record_jobs(4, 4)
+        assert manifest.jobs_requested == "4"
+        assert manifest.jobs_resolved == 4
+
+
 class TestFile:
     def test_write_produces_valid_json(self, tmp_path):
         target = tmp_path / "deep" / "manifest.json"

@@ -1,0 +1,208 @@
+"""Streaming histograms: percentile math, merge invariance, round trips."""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.metrics import (
+    SUBBUCKETS,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    bucket_index,
+    bucket_upper_bound,
+)
+
+
+def _filled(name: str, samples) -> Histogram:
+    hist = Histogram(name)
+    for sample in samples:
+        hist.record(sample)
+    return hist
+
+
+class TestBucketing:
+    def test_upper_bound_covers_its_bucket(self):
+        for value in (0.001, 0.5, 0.75, 1.0, 1.5, 3.0, 1e6, 2**52 + 0.5):
+            index = bucket_index(value)
+            assert value <= bucket_upper_bound(index)
+            # Buckets are [lower, upper): the bucket below ends at or
+            # before the value.
+            assert bucket_upper_bound(index - 1) <= value
+
+    def test_relative_resolution(self):
+        # Log-linear bucketing: the upper edge overshoots by at most
+        # one sub-bucket width, i.e. a factor of 1 + 1/SUBBUCKETS.
+        for value in (0.037, 1.0, 7.3, 123456.789):
+            edge = bucket_upper_bound(bucket_index(value))
+            assert edge / value <= 1.0 + 1.0 / SUBBUCKETS + 1e-12
+
+    def test_deterministic(self):
+        assert bucket_index(1234.5) == bucket_index(1234.5)
+        assert bucket_index(0.5) != bucket_index(0.25)
+
+
+class TestRecordValidation:
+    @pytest.mark.parametrize(
+        "bad", [-1.0, -1e-9, float("nan"), float("inf"), float("-inf")]
+    )
+    def test_rejects_out_of_domain(self, bad):
+        with pytest.raises(ConfigError):
+            Histogram("h").record(bad)
+
+    def test_accepts_zero(self):
+        hist = _filled("h", [0.0, 0.0, 1.0])
+        assert hist.zeros == 2
+        assert hist.count == 3
+        assert hist.minimum == 0.0
+
+
+class TestPercentiles:
+    def test_empty(self):
+        hist = Histogram("h")
+        assert hist.percentile(50.0) == 0.0
+        assert hist.mean == 0.0
+        aggregates = hist.aggregates()
+        assert aggregates["count"] == 0
+        assert aggregates["min"] is None and aggregates["max"] is None
+
+    def test_single_sample_is_exact(self):
+        hist = _filled("h", [7.3])
+        for q in (0.0, 1.0, 50.0, 99.0, 100.0):
+            assert hist.percentile(q) == 7.3
+
+    def test_extremes_are_exact(self):
+        hist = _filled("h", [3.0, 11.0, 5.0, 2.0, 19.0])
+        assert hist.percentile(0.0) == 2.0
+        assert hist.percentile(100.0) == 19.0
+
+    def test_known_distribution(self):
+        hist = _filled("h", [float(i) for i in range(1, 11)])
+        # Nearest-rank within one sub-bucket of relative resolution.
+        assert hist.percentile(50.0) == pytest.approx(5.0, rel=1 / SUBBUCKETS)
+        assert hist.percentile(90.0) == pytest.approx(9.0, rel=1 / SUBBUCKETS)
+        assert hist.percentile(99.0) == 10.0
+
+    def test_all_zeros(self):
+        hist = _filled("h", [0.0] * 5)
+        assert hist.percentile(50.0) == 0.0
+        assert hist.percentile(100.0) == 0.0
+
+    def test_out_of_range_q(self):
+        with pytest.raises(ConfigError):
+            _filled("h", [1.0]).percentile(101.0)
+        with pytest.raises(ConfigError):
+            _filled("h", [1.0]).percentile(-0.5)
+
+
+class TestMerge:
+    def test_merge_equals_single_stream(self):
+        samples = [float(i % 97) for i in range(500)]
+        whole = _filled("h", samples)
+        left = _filled("h", samples[:123])
+        right = _filled("h", samples[123:])
+        left.merge(right)
+        assert left.to_dict() == whole.to_dict()
+
+    def test_merge_order_invariance(self):
+        rng = random.Random(7)
+        samples = [float(rng.randint(0, 10**9)) for _ in range(1000)]
+        parts = [samples[i::7] for i in range(7)]
+        orders = [list(range(7)), list(reversed(range(7)))]
+        rng.shuffle(order := list(range(7)))
+        orders.append(order)
+        states = []
+        for permutation in orders:
+            merged = Histogram("h")
+            for part_index in permutation:
+                merged.merge(_filled("h", parts[part_index]))
+            states.append(merged.to_dict())
+        assert states[0] == states[1] == states[2]
+
+    def test_merge_empty(self):
+        hist = _filled("h", [1.0, 2.0])
+        before = hist.to_dict()
+        hist.merge(Histogram("h"))
+        assert hist.to_dict() == before
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        hist = _filled("h", [0.0, 0.5, 1.0, 2.0, 1e6])
+        rebuilt = Histogram.from_dict("h", hist.to_dict())
+        assert rebuilt.to_dict() == hist.to_dict()
+        assert rebuilt.aggregates() == hist.aggregates()
+
+    def test_json_friendly(self):
+        import json
+
+        state = _filled("h", [1.0, 2.0]).to_dict()
+        assert json.loads(json.dumps(state)) == state
+
+    def test_subbucket_mismatch_rejected(self):
+        state = _filled("h", [1.0]).to_dict()
+        state["subbuckets"] = SUBBUCKETS * 2
+        with pytest.raises(ConfigError):
+            Histogram.from_dict("h", state)
+
+
+class TestTimer:
+    def test_records_durations(self):
+        timer = Timer("t")
+        with timer.time():
+            pass
+        timer.record_seconds(0.25)
+        assert timer.histogram.count == 2
+        assert timer.histogram.maximum >= 0.25
+        assert timer.name == "t"
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        registry = MetricsRegistry()
+        assert registry.histogram("a") is registry.histogram("a")
+        registry.observe("b", 1.0)
+        assert "b" in registry and len(registry) == 2
+        assert registry.names() == ["a", "b"]
+
+    def test_state_merge_partition_invariance(self):
+        rng = random.Random(3)
+        samples = [float(rng.randint(0, 10**6)) for _ in range(400)]
+        whole = MetricsRegistry()
+        for sample in samples:
+            whole.observe("m", sample)
+        merged = MetricsRegistry()
+        for start in range(0, 400, 100):
+            worker = MetricsRegistry()
+            for sample in samples[start:start + 100]:
+                worker.observe("m", sample)
+            merged.merge_state(worker.state())
+        assert merged.state() == whole.state()
+
+    def test_merge_live_registries(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.observe("a", 1.0)
+        second.observe("a", 2.0)
+        second.observe("b", 3.0)
+        first.merge(second)
+        assert first.histogram("a").count == 2
+        assert first.histogram("b").count == 1
+        # Merging copies state; the source registry must stay intact.
+        assert second.histogram("a").count == 1
+
+    def test_registry_timer_shares_histogram(self):
+        registry = MetricsRegistry()
+        registry.timer("t").record_seconds(1.0)
+        assert registry.histogram("t").count == 1
+
+    def test_state_pickles(self):
+        registry = MetricsRegistry()
+        registry.observe("m", 42.0)
+        state = pickle.loads(pickle.dumps(registry.state()))
+        rebuilt = MetricsRegistry()
+        rebuilt.merge_state(state)
+        assert rebuilt.state() == registry.state()
