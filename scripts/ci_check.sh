@@ -29,3 +29,52 @@ MEGSIM_JOBS=auto python -m pytest -x -q tests/test_parallel/test_determinism.py
 echo "== bench smoke regression gate =="
 python -m repro bench --suite smoke --scale 0.05 \
     --compare benchmarks/baselines/smoke.json --threshold 2.0
+
+# The artifact-store contract (docs/pipeline.md): two identical warm
+# runs sharing one fresh MEGSIM_STORE must produce byte-identical
+# deterministic results, and the second must be served from the store —
+# zero trace generation, zero functional profiling, zero cycle
+# simulation in any benchmark.
+echo "== store warm determinism =="
+STORE_TMP="$(mktemp -d)"
+trap 'rm -rf "$STORE_TMP"' EXIT
+MEGSIM_STORE="$STORE_TMP/store" python -m repro bench --suite smoke \
+    --scale 0.02 --warm --out "$STORE_TMP/warm1.json"
+MEGSIM_STORE="$STORE_TMP/store" python -m repro bench --suite smoke \
+    --scale 0.02 --warm --out "$STORE_TMP/warm2.json"
+python - "$STORE_TMP/warm1.json" "$STORE_TMP/warm2.json" <<'EOF'
+import json
+import sys
+
+first, second = (json.load(open(path)) for path in sys.argv[1:3])
+for name in second["benchmarks"]:
+    cold, warm = (
+        artifact["benchmarks"][name]["results"] for artifact in (first, second)
+    )
+    # Model outputs must be byte-identical (counters measure *work*,
+    # which legitimately collapses on the warm run, so they are not
+    # compared here).
+    for section in ("metrics", "accuracy", "info"):
+        a, b = (json.dumps(r[section], sort_keys=True) for r in (cold, warm))
+        assert a == b, f"{name}.results.{section} differs between warm runs"
+    counters = warm["counters"]
+    for work in ("cycle.frames_simulated", "functional.frames_profiled"):
+        assert work not in counters, f"{name}: warm run did work: {work}"
+    assert not any(c.startswith("pipeline.computed.") for c in counters), (
+        f"{name}: warm run recomputed a pipeline stage"
+    )
+    # Later specs in the run hit the shared memory tier, so either hit
+    # kind proves the store served the evaluation.
+    hits = counters.get("store.hits.disk", 0) + counters.get(
+        "store.hits.memory", 0
+    )
+    assert hits > 0, f"{name}: warm run reported no store hits"
+second_counters = {
+    name: section["results"]["counters"]
+    for name, section in second["benchmarks"].items()
+}
+assert any(c.get("store.hits.disk", 0) > 0 for c in second_counters.values()), (
+    "second warm run never read the persistent store"
+)
+print("store warm determinism: OK")
+EOF

@@ -10,25 +10,41 @@ benchmark:
 5. cycle-accurate simulation of the representatives only,
 6. extrapolated estimates and relative errors.
 
-Results are cached per ``(alias, scale)`` so the many experiments that need
-the same ground truth (Tables III/IV, Figures 3/4/7) share one simulation.
+The function is a thin composition over :mod:`repro.pipeline`: each
+step is a typed stage executed against the content-addressed artifact
+store (:mod:`repro.store`), so the many experiments that need the same
+ground truth (Tables III/IV, Figures 3/4/7) share one simulation — and,
+because the store is persistent, so do later processes and
+:mod:`repro.parallel` workers.  The assembled
+:class:`BenchmarkEvaluation` itself is kept in the store's memory tier
+only; repeated identical calls in one process return the same object.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.analysis.metrics import relative_error
-from repro.core.sampler import MEGsim, MEGsimOptions, SamplingPlan
+from repro.core.sampler import MEGsimOptions, SamplingPlan
 from repro.gpu.config import GPUConfig
-from repro.gpu.cycle_sim import CycleAccurateSimulator, SequenceResult
-from repro.gpu.functional_sim import FunctionalSimulator, SequenceProfile
+from repro.gpu.cycle_sim import SequenceResult
+from repro.gpu.functional_sim import SequenceProfile
 from repro.gpu.stats import FrameStats, KEY_METRICS
 from repro.obs import span
+from repro.pipeline import (
+    PipelineRequest,
+    evaluation_fingerprint,
+    run_pipeline,
+    stage_fingerprints,
+)
 from repro.scene.trace import WorkloadTrace
-from repro.workloads.benchmarks import make_benchmark
+from repro.store import get_store
+
+#: Store kind of the assembled evaluation (memory tier only: its parts
+#: are persisted individually by the pipeline stages).
+_EVALUATION_KIND = "evaluation"
 
 
 @dataclass(frozen=True)
@@ -88,34 +104,13 @@ class BenchmarkEvaluation:
         )
 
 
-_CACHE: dict[tuple, BenchmarkEvaluation] = {}
-# The expensive part — trace generation, functional profile, full-sequence
-# cycle simulation — depends only on (alias, scale, config), so option
-# sweeps (thresholds, weights, cluster methods) share it.
-_BASE_CACHE: dict[tuple, tuple] = {}
-
-
 def clear_cache() -> None:
-    """Drop all cached evaluations (frees the traces and frame stats)."""
-    _CACHE.clear()
-    _BASE_CACHE.clear()
+    """Drop the store's live-object tier (frees traces and frame stats).
 
-
-def _base_evaluation(
-    alias: str, scale: float, config: GPUConfig | None, use_cache: bool
-) -> tuple:
-    key = (alias, scale, config)
-    if use_cache and key in _BASE_CACHE:
-        return _BASE_CACHE[key]
-    with span("workload.generate", benchmark=alias, scale=scale):
-        trace = make_benchmark(alias, scale=scale)
-    profile = FunctionalSimulator(config).profile(trace)
-    with span("evaluate.ground_truth", benchmark=alias):
-        full = CycleAccurateSimulator(config).simulate(trace)
-    base = (trace, profile, full)
-    if use_cache:
-        _BASE_CACHE[key] = base
-    return base
+    Persistent artifacts survive: the next evaluation decodes them from
+    disk instead of re-simulating, but yields fresh objects.
+    """
+    get_store().clear_memory()
 
 
 def evaluate_benchmark(
@@ -125,43 +120,42 @@ def evaluate_benchmark(
     use_cache: bool = True,
     config: GPUConfig | None = None,
 ) -> BenchmarkEvaluation:
-    """Run (or fetch from cache) the end-to-end evaluation of a benchmark.
+    """Run (or fetch from the store) the end-to-end evaluation of a benchmark.
 
     Args:
         alias: Table II benchmark alias.
         scale: sequence-length scale (1.0 = the paper's frame counts).
         options: MEGsim knobs; ``None`` uses the paper's configuration.
-        use_cache: reuse a previous identical evaluation when available.
+        use_cache: consult the artifact store (memory and disk tiers)
+            for identical prior work; ``False`` recomputes every stage
+            and leaves the store untouched.
         config: GPU configuration; ``None`` uses the Table I baseline
             (pass a modified one for design-space or rendering-mode
             studies).
     """
-    opts = options if options is not None else MEGsimOptions()
-    key = (alias, scale, opts, config)
-    if use_cache and key in _CACHE:
-        return _CACHE[key]
+    request = PipelineRequest.create(
+        alias, scale=scale, options=options, config=config
+    )
+    store = get_store() if use_cache else None
+    fingerprints = stage_fingerprints(request)
+    eval_fp = evaluation_fingerprint(request, fingerprints)
+    if store is not None:
+        cached = store.get(_EVALUATION_KIND, eval_fp)
+        if cached is not None:
+            return cached
 
     with span("evaluate.benchmark", benchmark=alias, scale=scale):
-        trace, profile, full = _base_evaluation(alias, scale, config, use_cache)
-        plan = MEGsim(opts).plan_from_profile(profile)
-        with span("evaluate.representatives", benchmark=alias,
-                  frames=plan.selected_frame_count):
-            representatives = CycleAccurateSimulator(config).simulate(
-                trace, frame_ids=list(plan.representative_frames)
-            )
-        estimate = plan.estimate(
-            dict(zip(representatives.frame_ids, representatives.frame_stats))
-        )
+        artifacts = run_pipeline(request, store=store, fingerprints=fingerprints)
     evaluation = BenchmarkEvaluation(
         alias=alias,
-        scale=scale,
-        trace=trace,
-        profile=profile,
-        plan=plan,
-        full=full,
-        representatives=representatives,
-        estimate=estimate,
+        scale=request.scale,
+        trace=artifacts["trace"],
+        profile=artifacts["profile"],
+        plan=artifacts["plan"],
+        full=artifacts["ground_truth"],
+        representatives=artifacts["representatives"],
+        estimate=artifacts["estimate"],
     )
-    if use_cache:
-        _CACHE[key] = evaluation
+    if store is not None:
+        store.put(_EVALUATION_KIND, eval_fp, evaluation)
     return evaluation

@@ -13,13 +13,19 @@ artifact.  The artifact keeps two kinds of content strictly apart:
   speedup figures.  Only comparable between artifacts produced on the
   same platform; ``repro.bench.compare`` gates on them accordingly.
 
-Determinism mechanics: each spec starts from a cold evaluation cache
-(:func:`repro.analysis.runner.clear_cache`), so its span tree, counters
-and histogram samples do not depend on which specs ran earlier in the
-same process — the serial inline path and a fresh pool worker execute
-identical work.  Per-benchmark distributions are recorded under
-namespaced histogram names (``<bench>/<metric>``), which makes the
-cross-worker registry merge a disjoint-name union.
+Determinism mechanics: each spec runs inside a private, cold
+:func:`repro.store.memory_store` scope, so its span tree, counters and
+histogram samples do not depend on which specs ran earlier in the same
+process or on the state of the user's persistent store — the serial
+inline path and a fresh pool worker execute identical work.  With
+``warm=True`` (the CLI's ``--warm``) specs instead share the
+process-wide store (:func:`repro.store.get_store`), which measures the
+incremental cost of a suite over a populated ``MEGSIM_STORE``; its
+*work counters* then legitimately depend on the store's contents, while
+``results.metrics``/``results.accuracy``/``results.info`` stay
+byte-identical either way.  Per-benchmark distributions are recorded
+under namespaced histogram names (``<bench>/<metric>``), which makes
+the cross-worker registry merge a disjoint-name union.
 """
 
 from __future__ import annotations
@@ -42,6 +48,7 @@ from repro.obs import (
     span,
 )
 from repro.parallel import ParallelConfig, get_state, parallel_map
+from repro.store import get_store, memory_store, store_scope
 
 #: Schema tag of every ``BENCH_*.json`` artifact.
 BENCH_SCHEMA = "megsim-bench"
@@ -91,15 +98,17 @@ def _run_spec(name: str) -> dict:
     function runs inline at ``jobs=1`` and in pool workers at
     ``jobs>1``, reading the suite scale from the shared worker state.
     """
-    from repro.analysis.runner import clear_cache
-
     spec = BENCHES[name]
     scale = float(get_state("scale"))
-    # Cold evaluation cache per spec: the section below must not depend
-    # on which specs this process happened to run earlier.
-    clear_cache()
-    with span(f"bench.{name}", benchmark=name, scale=scale) as timing:
-        _, outcome = spec.run(scale)
+    warm = bool(get_state("warm"))
+    # Cold, private store per spec by default: the section below must
+    # not depend on which specs this process happened to run earlier,
+    # nor on what a previous session left in MEGSIM_STORE.  Warm runs
+    # deliberately share the persistent store instead.
+    store = get_store() if warm else memory_store()
+    with store_scope(store):
+        with span(f"bench.{name}", benchmark=name, scale=scale) as timing:
+            _, outcome = spec.run(scale)
 
     local = MetricsRegistry()
     metrics: dict[str, dict] = {}
@@ -142,6 +151,7 @@ def run_suite(
     parallel: ParallelConfig | None = None,
     names: list[str] | None = None,
     jobs_requested: int | str | None = None,
+    warm: bool = False,
 ) -> dict:
     """Run a benchmark suite and return the artifact dictionary.
 
@@ -153,6 +163,9 @@ def run_suite(
         names: explicit benchmark subset; ``None`` runs the whole suite.
         jobs_requested: the raw ``--jobs`` request, recorded in the
             manifest alongside the resolved count.
+        warm: share the process-wide artifact store across specs (the
+            CLI's ``--warm``) instead of giving each spec a cold,
+            private one; see the module docstring for the trade-off.
 
     Returns:
         The artifact as a plain dictionary (see the module docstring for
@@ -175,7 +188,7 @@ def run_suite(
         experiment=f"bench.{suite}",
         scale=resolved_scale,
         seed=MEGsimOptions().seed,
-        config={"suite": suite, "benchmarks": list(selected)},
+        config={"suite": suite, "benchmarks": list(selected), "warm": warm},
     )
     manifest.record_jobs(jobs_requested, config.jobs)
 
@@ -191,7 +204,7 @@ def run_suite(
                 _run_spec,
                 selected,
                 parallel=config,
-                state={"scale": resolved_scale},
+                state={"scale": resolved_scale, "warm": warm},
             )
         manifest.finish(collector)
         registry = {

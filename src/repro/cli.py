@@ -9,6 +9,16 @@ Examples::
     megsim all --scale 0.25           # every experiment, in paper order
     megsim lint                       # static analysis (docs/linting.md)
     megsim bench --suite smoke        # benchmark suite -> BENCH_smoke.json
+    megsim cache stats                # artifact-store occupancy
+
+Caching (see ``docs/pipeline.md``): every evaluation runs through the
+staged pipeline backed by the persistent artifact store (default
+``~/.cache/megsim``, overridden by the ``MEGSIM_STORE`` environment
+variable), so repeated experiments reuse traces, profiles, plans and
+cycle-simulation results across commands and sessions.  ``--no-store``
+runs a command against a throwaway in-memory store; ``megsim cache``
+inspects (``stats``), empties (``clear``) or garbage-collects (``gc``)
+the persistent tree.
 
 Observability (see ``docs/observability.md``): every command accepts
 ``--trace out.jsonl`` (stream span/counter/gauge events as JSON Lines,
@@ -51,6 +61,7 @@ from repro.parallel import (
     profile_parallel,
     resolve_jobs,
 )
+from repro.store import get_store, memory_store, store_scope
 from repro.workloads.benchmarks import benchmark_aliases, make_benchmark
 
 
@@ -69,6 +80,14 @@ def _add_jobs(parser: argparse.ArgumentParser) -> None:
              "MEGSIM_JOBS environment variable, else 1 (serial). "
              "Results are byte-identical for any value "
              "(see docs/parallelism.md)",
+    )
+
+
+def _add_store(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-store", dest="no_store", action="store_true",
+        help="run against a throwaway in-memory artifact store: nothing "
+             "is read from or written to MEGSIM_STORE (docs/pipeline.md)",
     )
 
 
@@ -109,17 +128,20 @@ def build_parser() -> argparse.ArgumentParser:
     run = commands.add_parser("run", help="run one experiment")
     run.add_argument("experiment", choices=sorted(EXPERIMENTS))
     _add_scale(run)
+    _add_store(run)
     _add_obs(run)
 
     everything = commands.add_parser("all", help="run every experiment")
     _add_scale(everything)
     _add_jobs(everything)
+    _add_store(everything)
     _add_obs(everything)
 
     plan = commands.add_parser("plan", help="show a benchmark's sampling plan")
     plan.add_argument("benchmark", choices=benchmark_aliases())
     _add_scale(plan)
     _add_jobs(plan)
+    _add_store(plan)
     _add_obs(plan)
 
     inspect = commands.add_parser(
@@ -127,6 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     inspect.add_argument("benchmark", choices=benchmark_aliases())
     _add_scale(inspect)
+    _add_store(inspect)
     _add_obs(inspect)
 
     figures = commands.add_parser(
@@ -139,6 +162,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="directory for fig5.pgm / fig6.ppm")
     _add_scale(figures)
     _add_jobs(figures)
+    _add_store(figures)
     _add_obs(figures)
 
     trace = commands.add_parser(
@@ -148,6 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--out", required=True,
                        help="output path (.npz binary or .json)")
     _add_scale(trace)
+    _add_store(trace)
     _add_obs(trace)
 
     bench = commands.add_parser(
@@ -170,8 +195,26 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default %(default)s)")
     bench.add_argument("--list", dest="list_benches", action="store_true",
                        help="print the benchmark registry and exit")
+    bench.add_argument("--warm", action="store_true",
+                       help="share the persistent artifact store across "
+                            "specs instead of running each one cold; "
+                            "measures the incremental cost of a suite "
+                            "over a populated MEGSIM_STORE")
     _add_jobs(bench)
+    _add_store(bench)
     _add_obs(bench)
+
+    cache = commands.add_parser(
+        "cache", help="inspect or maintain the persistent artifact store"
+    )
+    cache.add_argument("action", choices=("stats", "clear", "gc"),
+                       help="stats: occupancy per artifact kind; "
+                            "clear: delete every stored artifact; "
+                            "gc: remove stale temp files and old store "
+                            "versions, optionally trimming to --max-bytes")
+    cache.add_argument("--max-bytes", dest="max_bytes", type=int, default=None,
+                       help="for gc: evict least-recently-used artifacts "
+                            "until the store fits in this many bytes")
 
     lint = commands.add_parser(
         "lint", help="static analysis: determinism/layering/doc invariants"
@@ -273,7 +316,54 @@ def _experiment_worker(item: tuple[str, float]) -> tuple[str, str]:
 
 
 def _dispatch(args: argparse.Namespace) -> int:
-    """Execute one parsed command; returns the process exit code."""
+    """Execute one parsed command; returns the process exit code.
+
+    ``--no-store`` swaps in a throwaway in-memory artifact store for the
+    duration of the command, so nothing touches ``MEGSIM_STORE``.
+    """
+    if getattr(args, "no_store", False):
+        with store_scope(memory_store()):
+            return _run_command(args)
+    return _run_command(args)
+
+
+def _cache(args: argparse.Namespace) -> int:
+    """The ``megsim cache`` subcommand: store inspection and maintenance."""
+    store = get_store()
+    if args.action == "stats":
+        stats = store.stats()
+        disk = stats["disk"]
+        memory = stats["memory"]
+        print(f"store root: {disk['root'] or '(memory only)'}")
+        print(
+            f"memory    : {memory['entries']}/{memory['capacity']} live "
+            f"objects, {memory['evictions']} evictions"
+        )
+        print(f"disk      : {disk['entries']} artifacts, {disk['bytes']} bytes")
+        for kind, row in disk["kinds"].items():
+            print(f"  {kind:<16s} {row['entries']:6d} entries "
+                  f"{row['bytes']:12d} bytes")
+        return 0
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} artifacts from {store.root or 'memory'}")
+        return 0
+    # gc
+    outcome = store.gc(args.max_bytes)
+    print(
+        f"gc {store.root or '(memory only)'}: "
+        f"{outcome['removed_tmp']} temp files, "
+        f"{outcome['removed_old_versions']} old-version files, "
+        f"{outcome['removed_artifacts']} artifacts removed"
+    )
+    return 0
+
+
+def _run_command(args: argparse.Namespace) -> int:
+    """Execute one parsed command against the active store."""
+    if args.command == "cache":
+        return _cache(args)
+
     if args.command == "list":
         print("experiments:", ", ".join(EXPERIMENTS))
         print("benchmarks:", ", ".join(benchmark_aliases()))
@@ -406,6 +496,7 @@ def _bench(args: argparse.Namespace) -> int:
         scale=args.scale,
         parallel=ParallelConfig.from_cli(args.jobs),
         jobs_requested=args.jobs or os.environ.get(JOBS_ENV_VAR),
+        warm=args.warm,
     )
     out = args.out if args.out else artifact_name(args.suite)
     write_artifact(artifact, out)

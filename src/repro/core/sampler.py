@@ -132,8 +132,21 @@ class SamplingPlan:
     # diagnostic; only the clusters are needed to sample and extrapolate.
     # ------------------------------------------------------------------
 
-    def to_dict(self) -> dict:
-        """JSON-serializable representation (clusters + search record)."""
+    def to_dict(self, include_features: bool = False) -> dict:
+        """JSON-serializable representation (clusters + search record).
+
+        With ``include_features`` the N x D feature matrix is persisted
+        too (as nested lists); the artifact store uses this so ablation
+        and clustering-quality experiments behave identically on a
+        store-hit plan and a freshly computed one.  The default stays
+        lean for hand-managed ``save``/``load`` files.
+        """
+        payload = self._to_dict_base()
+        if include_features:
+            payload["features"] = self.features.tolist()
+        return payload
+
+    def _to_dict_base(self) -> dict:
         return {
             "trace_name": self.trace_name,
             "total_frames": self.total_frames,
@@ -157,8 +170,10 @@ class SamplingPlan:
     def from_dict(cls, payload: dict) -> "SamplingPlan":
         """Rebuild a plan saved with :meth:`to_dict`.
 
-        The feature matrix is not persisted; the restored plan carries an
-        empty one (``estimate``/``representative_frames`` are unaffected).
+        The feature matrix is restored when the payload carries one
+        (``to_dict(include_features=True)``); otherwise the plan gets an
+        empty matrix (``estimate``/``representative_frames`` are
+        unaffected).
         The search's clustering is a placeholder without centroids, but
         its labels are rebuilt from the persisted cluster members (one
         label row per cluster, in cluster order), so diagnostics like
@@ -193,12 +208,17 @@ class SamplingPlan:
             bic_scores=tuple(search_payload["bic_scores"]),
             threshold=search_payload["threshold"],
         )
+        if "features" in payload:
+            features = np.asarray(payload["features"], dtype=np.float64)
+            features = features.reshape(payload["total_frames"], -1)
+        else:
+            features = np.zeros((payload["total_frames"], 0))
         return cls(
             trace_name=payload["trace_name"],
             total_frames=payload["total_frames"],
             clusters=clusters,
             search=search,
-            features=np.zeros((payload["total_frames"], 0)),
+            features=features,
         )
 
     def save(self, path) -> None:

@@ -40,3 +40,12 @@ class ClusteringError(ReproError):
 
 class AnalysisError(ReproError):
     """An experiment or analysis step received inconsistent inputs."""
+
+
+class StoreError(ReproError):
+    """The artifact store was misused or its on-disk state is unusable.
+
+    Corruption of individual artifacts is *not* reported through this
+    error: a failed hash check makes the store drop the artifact and
+    report a miss, so callers transparently recompute.
+    """

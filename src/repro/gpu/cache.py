@@ -41,6 +41,25 @@ class CacheStats:
         self.misses += other.misses
         self.writebacks += other.writebacks
 
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (for the artifact store)."""
+        return {
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "writebacks": self.writebacks,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CacheStats":
+        """Rebuild counters saved with :meth:`to_dict`."""
+        return cls(
+            accesses=payload["accesses"],
+            hits=payload["hits"],
+            misses=payload["misses"],
+            writebacks=payload["writebacks"],
+        )
+
 
 @dataclass(slots=True)
 class _Line:

@@ -70,6 +70,32 @@ class SequenceResult:
             ) from exc
         return self.frame_stats[index]
 
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (for the artifact store).
+
+        ``elapsed_seconds`` is persisted too: a store-hit evaluation
+        then reports the same wall-clock speedup the original
+        computation measured instead of a meaningless near-zero time.
+        """
+        return {
+            "trace_name": self.trace_name,
+            "frame_ids": list(self.frame_ids),
+            "frame_stats": [stats.to_dict() for stats in self.frame_stats],
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SequenceResult":
+        """Rebuild a result saved with :meth:`to_dict`."""
+        return cls(
+            trace_name=payload["trace_name"],
+            frame_ids=tuple(payload["frame_ids"]),
+            frame_stats=tuple(
+                FrameStats.from_dict(stats) for stats in payload["frame_stats"]
+            ),
+            elapsed_seconds=payload["elapsed_seconds"],
+        )
+
     def to_csv(self, path) -> None:
         """Write the per-frame statistics as a CSV file.
 

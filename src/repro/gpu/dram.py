@@ -52,6 +52,27 @@ class DRAMStats:
         self.row_misses += other.row_misses
         self.busy_cycles += other.busy_cycles
 
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (for the artifact store)."""
+        return {
+            "read_accesses": self.read_accesses,
+            "write_accesses": self.write_accesses,
+            "row_hits": self.row_hits,
+            "row_misses": self.row_misses,
+            "busy_cycles": self.busy_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DRAMStats":
+        """Rebuild counters saved with :meth:`to_dict`."""
+        return cls(
+            read_accesses=payload["read_accesses"],
+            write_accesses=payload["write_accesses"],
+            row_hits=payload["row_hits"],
+            row_misses=payload["row_misses"],
+            busy_cycles=payload["busy_cycles"],
+        )
+
 
 class DRAMModel:
     """Open-row, multi-bank main memory fed with contiguous line runs."""

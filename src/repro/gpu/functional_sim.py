@@ -50,6 +50,29 @@ class FrameProfile:
     vertex_instructions: int
     fragment_instructions: int
 
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (for the artifact store)."""
+        return {
+            "frame_id": self.frame_id,
+            "vs_executions": self.vs_executions.tolist(),
+            "fs_executions": self.fs_executions.tolist(),
+            "primitives": self.primitives,
+            "vertex_instructions": self.vertex_instructions,
+            "fragment_instructions": self.fragment_instructions,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FrameProfile":
+        """Rebuild a profile saved with :meth:`to_dict`."""
+        return cls(
+            frame_id=payload["frame_id"],
+            vs_executions=np.asarray(payload["vs_executions"], dtype=np.int64),
+            fs_executions=np.asarray(payload["fs_executions"], dtype=np.int64),
+            primitives=payload["primitives"],
+            vertex_instructions=payload["vertex_instructions"],
+            fragment_instructions=payload["fragment_instructions"],
+        )
+
 
 @dataclass(frozen=True)
 class SequenceProfile:
@@ -87,6 +110,33 @@ class SequenceProfile:
     def prim_vector(self) -> np.ndarray:
         """Per-frame primitive counts as an N-vector."""
         return np.array([p.primitives for p in self.profiles], dtype=np.float64)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (for the artifact store)."""
+        return {
+            "trace_name": self.trace_name,
+            "profiles": [profile.to_dict() for profile in self.profiles],
+            "vertex_shader_weights": self.vertex_shader_weights.tolist(),
+            "fragment_shader_weights": self.fragment_shader_weights.tolist(),
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SequenceProfile":
+        """Rebuild a profile saved with :meth:`to_dict`."""
+        return cls(
+            trace_name=payload["trace_name"],
+            profiles=tuple(
+                FrameProfile.from_dict(entry) for entry in payload["profiles"]
+            ),
+            vertex_shader_weights=np.asarray(
+                payload["vertex_shader_weights"], dtype=np.float64
+            ),
+            fragment_shader_weights=np.asarray(
+                payload["fragment_shader_weights"], dtype=np.float64
+            ),
+            elapsed_seconds=payload["elapsed_seconds"],
+        )
 
 
 class FunctionalSimulator:

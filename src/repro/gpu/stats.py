@@ -187,3 +187,32 @@ class FrameStats:
         for entry in stats:
             aggregate.merge(entry)
         return aggregate
+
+    # ------------------------------------------------------------------
+    # Persistence (the artifact store's encode/decode hooks).
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation; round-trips floats exactly."""
+        payload = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, (CacheStats, DRAMStats)):
+                payload[spec.name] = value.to_dict()
+            else:
+                payload[spec.name] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FrameStats":
+        """Rebuild statistics saved with :meth:`to_dict`."""
+        kwargs = {}
+        for spec in fields(cls):
+            value = payload[spec.name]
+            if spec.name == "dram":
+                kwargs[spec.name] = DRAMStats.from_dict(value)
+            elif isinstance(value, dict):
+                kwargs[spec.name] = CacheStats.from_dict(value)
+            else:
+                kwargs[spec.name] = value
+        return cls(**kwargs)

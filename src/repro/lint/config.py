@@ -18,15 +18,22 @@ from repro.errors import ConfigError
 #: A component may import components at the same or a lower level;
 #: importing a *higher* level is a back-edge (MEG003).  ``errors`` and
 #: ``version`` sit at the bottom and ``obs`` just above them, which is
-#: what makes both importable from everywhere else.
+#: what makes both importable from everywhere else.  ``store`` sits
+#: below ``gpu``/``core``/``analysis`` on purpose: the artifact store
+#: must stay ignorant of simulator internals (it only handles the
+#: encode/decode hooks callers pass in), and this level makes any
+#: ``repro.store`` -> ``repro.gpu``/``repro.analysis`` import a lint
+#: failure.
 DEFAULT_LAYERS: dict[str, int] = {
     "errors": 0,
     "version": 0,
     "obs": 1,
     "scene": 2,
+    "store": 2,
     "workloads": 3,
     "gpu": 3,
     "core": 4,
+    "pipeline": 4,
     "parallel": 5,
     "analysis": 5,
     "benchmark_support": 6,
@@ -78,6 +85,8 @@ class LintConfig:
         default_factory=lambda: {
             "repro": "src/repro/__init__.py",
             "repro.obs": "src/repro/obs/__init__.py",
+            "repro.store": "src/repro/store/__init__.py",
+            "repro.pipeline": "src/repro/pipeline/__init__.py",
             "repro.parallel": "src/repro/parallel/__init__.py",
             "repro.bench": "src/repro/bench/__init__.py",
             "repro.lint": "src/repro/lint/__init__.py",

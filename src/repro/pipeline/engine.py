@@ -1,0 +1,59 @@
+"""Stage execution against the artifact store.
+
+:func:`run_pipeline` walks :data:`~repro.pipeline.stages.STAGES` in
+order, trying the store before computing: a stage whose fingerprint is
+already present — put there by an earlier call, another process, or a
+:mod:`repro.parallel` worker — is decoded instead of recomputed.  Each
+stage runs under a ``pipeline.<name>`` span and reports
+``pipeline.hits.<name>`` / ``pipeline.computed.<name>`` counters, so a
+trace shows exactly which work a warm store absorbed.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs import counter, span
+from repro.pipeline.request import PipelineRequest
+from repro.pipeline.stages import STAGES, stage_fingerprints
+from repro.store import ArtifactStore
+
+
+def run_pipeline(
+    request: PipelineRequest,
+    store: ArtifactStore | None = None,
+    fingerprints: dict[str, str] | None = None,
+) -> dict[str, Any]:
+    """Produce every stage artifact for ``request``.
+
+    Args:
+        request: the resolved evaluation inputs.
+        store: artifact store to read/write; ``None`` recomputes
+            everything (the ``use_cache=False`` path).
+        fingerprints: precomputed :func:`stage_fingerprints` output, to
+            avoid hashing twice when the caller already has it.
+
+    Returns:
+        ``stage name -> artifact`` for all six stages.
+    """
+    fps = fingerprints if fingerprints is not None else stage_fingerprints(request)
+    artifacts: dict[str, Any] = {}
+    for stage in STAGES:
+        fp = fps[stage.name]
+        with span(
+            f"pipeline.{stage.name}",
+            benchmark=request.alias,
+            fingerprint=fp[:12],
+        ):
+            obj = None
+            if store is not None and stage.persist:
+                obj = store.get(stage.kind, fp, decode=stage.decode)
+            if obj is None:
+                obj = stage.compute(request, artifacts)
+                counter(f"pipeline.computed.{stage.name}")
+                if store is not None and stage.persist:
+                    store.put(stage.kind, fp, obj, encode=stage.encode)
+            else:
+                counter(f"pipeline.hits.{stage.name}")
+        artifacts[stage.name] = obj
+    return artifacts

@@ -1,0 +1,42 @@
+"""The fully resolved input of one end-to-end evaluation.
+
+A :class:`PipelineRequest` pins down everything the six stages depend
+on: the benchmark alias, the sequence-length scale, the MEGsim knobs
+and the GPU configuration.  ``None`` defaults are resolved at
+construction (:meth:`PipelineRequest.create`), so a request built with
+explicit paper defaults and one built with ``None`` fingerprint — and
+therefore cache — identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.sampler import MEGsimOptions
+from repro.gpu.config import GPUConfig, default_config
+
+
+@dataclass(frozen=True)
+class PipelineRequest:
+    """Immutable description of one evaluation the pipeline can run."""
+
+    alias: str
+    scale: float
+    options: MEGsimOptions
+    config: GPUConfig
+
+    @classmethod
+    def create(
+        cls,
+        alias: str,
+        scale: float = 1.0,
+        options: MEGsimOptions | None = None,
+        config: GPUConfig | None = None,
+    ) -> "PipelineRequest":
+        """Build a request, resolving ``None`` to the paper defaults."""
+        return cls(
+            alias=alias,
+            scale=float(scale),
+            options=options if options is not None else MEGsimOptions(),
+            config=config if config is not None else default_config(),
+        )

@@ -1,0 +1,63 @@
+"""Persistent content-addressed artifact store.
+
+``repro.store`` is the caching substrate of the staged evaluation
+pipeline (:mod:`repro.pipeline`, ``docs/pipeline.md``): artifacts are
+addressed by a deterministic *fingerprint* of their inputs and held in
+two tiers —
+
+* a bounded LRU of live Python objects (:class:`MemoryTier`), replacing
+  the unbounded module-level dictionaries ``repro.analysis.runner``
+  used to keep, and
+* a durable JSON tree (:class:`DiskTier`, default ``~/.cache/megsim``
+  or ``$MEGSIM_STORE``) with atomic writes and hash-on-read corruption
+  detection, shared safely between concurrent processes — including
+  :mod:`repro.parallel` workers.
+
+The package sits *below* the simulators in the layering DAG: it knows
+nothing about traces, profiles or statistics, only about fingerprints,
+JSON payloads and the ``encode``/``decode`` hooks callers hand it.
+
+Quickstart::
+
+    from repro.store import fingerprint, get_store
+
+    store = get_store()
+    fp = fingerprint({"alias": "hcr", "scale": 0.5})
+    plan = store.get("plan", fp, decode=SamplingPlan.from_dict)
+    if plan is None:
+        plan = compute_plan(...)
+        store.put("plan", fp, plan, encode=lambda p: p.to_dict())
+"""
+
+from repro.store.artifact import (
+    DEFAULT_ROOT,
+    DISABLE_VALUES,
+    STORE_ENV_VAR,
+    ArtifactStore,
+    get_store,
+    memory_store,
+    set_store,
+    store_scope,
+)
+from repro.store.disk import STORE_SCHEMA, STORE_VERSION, DiskTier
+from repro.store.fingerprint import canonical_json, fingerprint, jsonable
+from repro.store.memory import DEFAULT_MEMORY_ENTRIES, MemoryTier
+
+__all__ = [
+    "ArtifactStore",
+    "DEFAULT_MEMORY_ENTRIES",
+    "DEFAULT_ROOT",
+    "DISABLE_VALUES",
+    "DiskTier",
+    "MemoryTier",
+    "STORE_ENV_VAR",
+    "STORE_SCHEMA",
+    "STORE_VERSION",
+    "canonical_json",
+    "fingerprint",
+    "get_store",
+    "jsonable",
+    "memory_store",
+    "set_store",
+    "store_scope",
+]

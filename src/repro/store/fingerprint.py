@@ -1,0 +1,88 @@
+"""Deterministic fingerprints of pipeline inputs.
+
+A fingerprint is the SHA-256 of the *canonical JSON* of a value: keys
+sorted, no whitespace, dataclasses flattened to dictionaries, tuples to
+lists, NumPy arrays to nested lists and NumPy scalars to Python
+numbers.  Canonical JSON round-trips floats exactly (``json`` emits
+``repr`` precision), so two processes fingerprinting equal values —
+including equal ``GPUConfig``/``MEGsimOptions`` instances — always
+agree, which is what makes the content-addressed store shareable across
+processes and sessions.
+
+Fingerprints are *input* addresses, not content hashes of the produced
+artifact; the artifact's own integrity hash lives in the disk envelope
+(:mod:`repro.store.disk`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+
+import numpy as np
+
+from repro.errors import StoreError
+
+
+def jsonable(value):
+    """Recursively convert ``value`` into plain JSON-compatible types.
+
+    Handles the vocabulary fingerprinted by the pipeline: dataclasses,
+    mappings, sequences, enums, NumPy arrays/scalars, and the JSON
+    scalars themselves.  Anything else raises :class:`StoreError` —
+    silently fingerprinting ``repr`` of an unknown object would make
+    addresses unstable across interpreter runs.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, enum.Enum):
+        return jsonable(value.value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            spec.name: jsonable(getattr(value, spec.name))
+            for spec in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        converted = {}
+        for key, entry in value.items():
+            if not isinstance(key, str):
+                raise StoreError(
+                    f"fingerprint keys must be strings, got {key!r}"
+                )
+            converted[key] = jsonable(entry)
+        return converted
+    if isinstance(value, (list, tuple)):
+        return [jsonable(entry) for entry in value]
+    if isinstance(value, np.ndarray):
+        return {
+            "__ndarray__": value.tolist(),
+            "dtype": str(value.dtype),
+            "shape": list(value.shape),
+        }
+    if isinstance(value, np.generic):
+        return jsonable(value.item())
+    raise StoreError(
+        f"cannot fingerprint a value of type {type(value).__name__}"
+    )
+
+
+def canonical_json(value) -> str:
+    """Serialize ``value`` as canonical JSON (sorted keys, no spaces)."""
+    return json.dumps(
+        jsonable(value),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+
+
+def fingerprint(value) -> str:
+    """Return the SHA-256 hex digest of ``value``'s canonical JSON."""
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()
+
+
+def payload_digest(text: str) -> str:
+    """Integrity hash of an already-serialized payload string."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

@@ -2,7 +2,11 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+from repro.store import STORE_ENV_VAR, set_store
 
 from repro.scene.draw import DrawCall
 from repro.scene.frame import Camera, Frame
@@ -15,6 +19,25 @@ from repro.scene.shader import (
 )
 from repro.scene.trace import WorkloadTrace
 from repro.scene.vectors import Vec3
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_store(tmp_path_factory) -> None:
+    """Point the artifact store at a session-private temporary root.
+
+    Keeps the suite hermetic — no reads from or writes to the user's
+    ``~/.cache/megsim`` — while still exercising the persistent disk
+    tier and sharing expensive evaluations across test modules.
+    """
+    previous = os.environ.get(STORE_ENV_VAR)
+    os.environ[STORE_ENV_VAR] = str(tmp_path_factory.mktemp("megsim-store"))
+    set_store(None)  # rebuild lazily from the new environment
+    yield
+    if previous is None:
+        os.environ.pop(STORE_ENV_VAR, None)
+    else:
+        os.environ[STORE_ENV_VAR] = previous
+    set_store(None)
 
 
 @pytest.fixture

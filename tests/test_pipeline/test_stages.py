@@ -1,0 +1,106 @@
+"""Stage graph structure and fingerprint algebra."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sampler import MEGsimOptions
+from repro.errors import ConfigError
+from repro.gpu.config import GPUConfig
+from repro.pipeline import (
+    STAGES,
+    PipelineRequest,
+    evaluation_fingerprint,
+    stage_fingerprints,
+    validate_stages,
+)
+
+REQUEST = PipelineRequest.create("hcr", scale=0.02)
+
+
+class TestGraph:
+    def test_declared_order_is_a_valid_topological_order(self):
+        validate_stages(STAGES)
+
+    def test_expected_stage_names(self):
+        assert [s.name for s in STAGES] == [
+            "trace",
+            "profile",
+            "plan",
+            "ground_truth",
+            "representatives",
+            "estimate",
+        ]
+
+    def test_duplicate_names_rejected(self):
+        twice = STAGES + (STAGES[0],)
+        with pytest.raises(ConfigError):
+            validate_stages(twice)
+
+    def test_forward_reference_rejected(self):
+        backwards = tuple(reversed(STAGES))
+        with pytest.raises(ConfigError):
+            validate_stages(backwards)
+
+
+class TestFingerprints:
+    def test_every_stage_gets_a_distinct_digest(self):
+        fps = stage_fingerprints(REQUEST)
+        assert set(fps) == {s.name for s in STAGES}
+        assert len(set(fps.values())) == len(fps)
+
+    def test_deterministic_across_calls(self):
+        again = PipelineRequest.create("hcr", scale=0.02)
+        assert stage_fingerprints(REQUEST) == stage_fingerprints(again)
+
+    def test_alias_change_invalidates_everything(self):
+        base = stage_fingerprints(REQUEST)
+        other = stage_fingerprints(PipelineRequest.create("asp", scale=0.02))
+        assert all(other[name] != base[name] for name in base)
+
+    def test_option_change_leaves_trace_and_profile_valid(self):
+        # Sampler options feed the plan stage; upstream artifacts are
+        # reusable, everything downstream of the plan is not.
+        base = stage_fingerprints(REQUEST)
+        tuned = stage_fingerprints(
+            PipelineRequest.create(
+                "hcr", scale=0.02, options=MEGsimOptions(threshold=0.9)
+            )
+        )
+        assert tuned["trace"] == base["trace"]
+        assert tuned["profile"] == base["profile"]
+        assert tuned["plan"] != base["plan"]
+        assert tuned["representatives"] != base["representatives"]
+        assert tuned["estimate"] != base["estimate"]
+        # Ground truth ignores the sampling plan entirely.
+        assert tuned["ground_truth"] == base["ground_truth"]
+
+    def test_config_change_leaves_trace_valid_only(self):
+        base = stage_fingerprints(REQUEST)
+        tweaked = stage_fingerprints(
+            PipelineRequest.create(
+                "hcr", scale=0.02, config=GPUConfig(rendering_mode="imr")
+            )
+        )
+        assert tweaked["trace"] == base["trace"]
+        assert tweaked["profile"] != base["profile"]
+        assert tweaked["ground_truth"] != base["ground_truth"]
+
+    def test_evaluation_fingerprint_tracks_estimate(self):
+        fps = stage_fingerprints(REQUEST)
+        assert evaluation_fingerprint(REQUEST, fps) == evaluation_fingerprint(
+            REQUEST
+        )
+        other = PipelineRequest.create("asp", scale=0.02)
+        assert evaluation_fingerprint(other) != evaluation_fingerprint(REQUEST)
+
+
+class TestRequest:
+    def test_none_defaults_resolve_to_canonical_values(self):
+        explicit = PipelineRequest.create(
+            "hcr", scale=0.02, options=MEGsimOptions(), config=GPUConfig()
+        )
+        assert stage_fingerprints(explicit) == stage_fingerprints(REQUEST)
+
+    def test_scale_is_normalised_to_float(self):
+        assert PipelineRequest.create("hcr", scale=1).scale == 1.0

@@ -1,0 +1,149 @@
+"""The two-tier store, its obs counters, and process-wide resolution."""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs import collecting
+from repro.store import (
+    STORE_ENV_VAR,
+    ArtifactStore,
+    get_store,
+    memory_store,
+    set_store,
+    store_scope,
+)
+
+FP = "ef" + "0" * 62
+
+
+def _counters(collector) -> dict[str, float]:
+    return dict(collector.counters)
+
+
+class TestTiering:
+    def test_memory_hit_returns_identical_object(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        obj = {"payload": 1}
+        store.put("plan", FP, obj, encode=lambda o: o)
+        assert store.get("plan", FP, decode=dict) is obj
+
+    def test_disk_hit_after_memory_clear_decodes_equal_object(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        obj = {"payload": [1, 2]}
+        store.put("plan", FP, obj, encode=lambda o: o)
+        store.clear_memory()
+        restored = store.get("plan", FP, decode=lambda payload: dict(payload))
+        assert restored == obj and restored is not obj
+        # The disk hit was promoted: next access is a memory hit.
+        assert store.get("plan", FP, decode=dict) is restored
+
+    def test_memory_only_kind_never_touches_disk(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put("evaluation", FP, object())  # no encode hook
+        assert store.disk.stats()["entries"] == 0
+        store.clear_memory()
+        assert store.get("evaluation", FP) is None
+
+    def test_memory_store_has_no_disk_tier(self):
+        store = memory_store()
+        assert store.root is None
+        store.put("plan", FP, {"a": 1}, encode=dict)  # encode is ignored
+        assert store.get("plan", FP, decode=dict) == {"a": 1}
+
+    def test_clear_drops_both_tiers(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put("plan", FP, {"a": 1}, encode=dict)
+        assert store.clear() == 1
+        assert store.get("plan", FP, decode=dict) is None
+
+    def test_concurrent_writers_agree(self, tmp_path):
+        # Two stores sharing one root model two processes: either write
+        # wins atomically and the reader sees a complete artifact.
+        first = ArtifactStore(tmp_path)
+        second = ArtifactStore(tmp_path)
+        first.put("plan", FP, {"a": 1}, encode=dict)
+        second.put("plan", FP, {"a": 1}, encode=dict)
+        second.clear_memory()
+        assert second.get("plan", FP, decode=dict) == {"a": 1}
+
+
+class TestCounters:
+    def test_hit_miss_write_and_byte_counters(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with collecting() as collector:
+            assert store.get("plan", FP, decode=dict) is None  # miss
+            store.put("plan", FP, {"a": 1}, encode=dict)       # write
+            store.get("plan", FP, decode=dict)                 # memory hit
+            store.clear_memory()
+            store.get("plan", FP, decode=dict)                 # disk hit
+        totals = _counters(collector)
+        assert totals["store.misses"] == 1
+        assert totals["store.writes"] == 1
+        assert totals["store.hits.memory"] == 1
+        assert totals["store.hits.disk"] == 1
+        assert totals["store.bytes_written"] > 0
+        assert totals["store.bytes_read"] > 0
+
+    def test_corruption_is_counted(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put("plan", FP, {"a": 1}, encode=dict)
+        store.clear_memory()
+        target = store.disk.path("plan", FP)
+        target.write_text("not json")
+        with collecting() as collector:
+            assert store.get("plan", FP, decode=dict) is None
+        totals = _counters(collector)
+        assert totals["store.corrupt"] == 1
+        assert totals["store.misses"] == 1
+
+    def test_evictions_are_counted(self, tmp_path):
+        store = ArtifactStore(tmp_path, memory_entries=1)
+        with collecting() as collector:
+            store.put("plan", "aa" + "0" * 62, {"a": 1})
+            store.put("plan", "bb" + "0" * 62, {"b": 2})
+        assert _counters(collector)["store.evictions"] == 1
+
+
+class TestProcessWideStore:
+    def test_env_var_selects_the_root(self, tmp_path):
+        previous = os.environ.get(STORE_ENV_VAR)
+        os.environ[STORE_ENV_VAR] = str(tmp_path / "custom")
+        set_store(None)
+        try:
+            assert get_store().root == tmp_path / "custom"
+        finally:
+            if previous is None:
+                os.environ.pop(STORE_ENV_VAR, None)
+            else:
+                os.environ[STORE_ENV_VAR] = previous
+            set_store(None)
+
+    def test_disable_value_selects_memory_only(self):
+        previous = os.environ.get(STORE_ENV_VAR)
+        os.environ[STORE_ENV_VAR] = "off"
+        set_store(None)
+        try:
+            assert get_store().root is None
+        finally:
+            if previous is None:
+                os.environ.pop(STORE_ENV_VAR, None)
+            else:
+                os.environ[STORE_ENV_VAR] = previous
+            set_store(None)
+
+    def test_store_scope_swaps_and_restores(self):
+        outer = get_store()
+        scoped = memory_store()
+        with store_scope(scoped):
+            assert get_store() is scoped
+        assert get_store() is outer
+
+    def test_store_scope_restores_on_error(self):
+        outer = get_store()
+        try:
+            with store_scope(memory_store()):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert get_store() is outer

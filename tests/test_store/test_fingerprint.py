@@ -1,0 +1,85 @@
+"""Fingerprints: canonical, stable, sensitive to every input."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.core.sampler import MEGsimOptions
+from repro.errors import StoreError
+from repro.gpu.config import GPUConfig, default_config
+from repro.store import canonical_json, fingerprint, jsonable
+
+
+class TestJsonable:
+    def test_scalars_pass_through(self):
+        assert jsonable(None) is None
+        assert jsonable(True) is True
+        assert jsonable(3) == 3
+        assert jsonable(0.25) == 0.25
+        assert jsonable("x") == "x"
+
+    def test_tuples_become_lists(self):
+        assert jsonable((1, (2, 3))) == [1, [2, 3]]
+
+    def test_dataclasses_flatten_to_field_dicts(self):
+        @dataclass(frozen=True)
+        class Point:
+            x: int
+            y: tuple
+
+        assert jsonable(Point(1, (2,))) == {"x": 1, "y": [2]}
+
+    def test_numpy_array_records_dtype_and_shape(self):
+        payload = jsonable(np.arange(4, dtype=np.int64).reshape(2, 2))
+        assert payload == {
+            "__ndarray__": [[0, 1], [2, 3]],
+            "dtype": "int64",
+            "shape": [2, 2],
+        }
+
+    def test_numpy_scalars_become_python(self):
+        assert jsonable(np.int64(7)) == 7
+        assert jsonable(np.float64(0.5)) == 0.5
+
+    def test_unknown_types_are_rejected(self):
+        with pytest.raises(StoreError):
+            jsonable(object())
+
+    def test_non_string_keys_are_rejected(self):
+        with pytest.raises(StoreError):
+            jsonable({1: "a"})
+
+
+class TestFingerprint:
+    def test_deterministic_across_calls(self):
+        value = {"alias": "hcr", "scale": 0.5, "opts": MEGsimOptions()}
+        assert fingerprint(value) == fingerprint(value)
+
+    def test_key_order_is_irrelevant(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_value_changes_change_the_digest(self):
+        base = fingerprint({"alias": "hcr", "scale": 0.5})
+        assert fingerprint({"alias": "hcr", "scale": 0.25}) != base
+        assert fingerprint({"alias": "asp", "scale": 0.5}) != base
+
+    def test_option_changes_change_the_digest(self):
+        base = fingerprint(MEGsimOptions())
+        assert fingerprint(MEGsimOptions(seed=1)) != base
+        assert fingerprint(MEGsimOptions(threshold=0.9)) != base
+
+    def test_config_none_equals_explicit_default(self):
+        # PipelineRequest resolves None to default_config(); the two
+        # spellings must share every artifact.
+        assert fingerprint(default_config()) == fingerprint(GPUConfig())
+
+    def test_config_changes_change_the_digest(self):
+        assert fingerprint(GPUConfig(rendering_mode="imr")) != fingerprint(
+            GPUConfig()
+        )
+
+    def test_canonical_json_is_compact_and_sorted(self):
+        assert canonical_json({"b": (1,), "a": 2}) == '{"a":2,"b":[1]}'

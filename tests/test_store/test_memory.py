@@ -1,0 +1,68 @@
+"""The bounded LRU memory tier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StoreError
+from repro.store import MemoryTier
+
+
+class TestMemoryTier:
+    def test_round_trip_returns_identical_object(self):
+        tier = MemoryTier(4)
+        payload = {"x": 1}
+        tier.put("k", "aa", payload)
+        assert tier.get("k", "aa") is payload
+
+    def test_miss_returns_none(self):
+        assert MemoryTier(4).get("k", "aa") is None
+
+    def test_capacity_is_enforced(self):
+        tier = MemoryTier(2)
+        for index in range(5):
+            tier.put("k", f"fp{index}", index)
+        assert len(tier) == 2
+        assert tier.evictions == 3
+
+    def test_eviction_is_least_recently_used(self):
+        tier = MemoryTier(2)
+        tier.put("k", "a", 1)
+        tier.put("k", "b", 2)
+        tier.get("k", "a")  # renew a; b is now LRU
+        tier.put("k", "c", 3)
+        assert tier.get("k", "a") == 1
+        assert tier.get("k", "b") is None
+        assert tier.get("k", "c") == 3
+
+    def test_put_returns_eviction_count(self):
+        tier = MemoryTier(1)
+        assert tier.put("k", "a", 1) == 0
+        assert tier.put("k", "b", 2) == 1
+
+    def test_overwrite_same_key_does_not_grow(self):
+        tier = MemoryTier(2)
+        tier.put("k", "a", 1)
+        tier.put("k", "a", 2)
+        assert len(tier) == 1
+        assert tier.get("k", "a") == 2
+
+    def test_kinds_do_not_collide(self):
+        tier = MemoryTier(4)
+        tier.put("plan", "aa", "p")
+        tier.put("trace", "aa", "t")
+        assert tier.get("plan", "aa") == "p"
+        assert tier.get("trace", "aa") == "t"
+
+    def test_clear_drops_entries(self):
+        tier = MemoryTier(4)
+        tier.put("k", "a", 1)
+        tier.clear()
+        assert len(tier) == 0
+        assert tier.get("k", "a") is None
+
+    def test_none_and_bad_capacity_rejected(self):
+        with pytest.raises(StoreError):
+            MemoryTier(0)
+        with pytest.raises(StoreError):
+            MemoryTier(4).put("k", "a", None)
