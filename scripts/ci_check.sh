@@ -37,7 +37,8 @@ python -m repro bench --suite smoke --scale 0.05 \
 # simulation in any benchmark.
 echo "== store warm determinism =="
 STORE_TMP="$(mktemp -d)"
-trap 'rm -rf "$STORE_TMP"' EXIT
+SERVICE_TMP="$(mktemp -d)"
+trap 'rm -rf "$STORE_TMP" "$SERVICE_TMP"' EXIT
 MEGSIM_STORE="$STORE_TMP/store" python -m repro bench --suite smoke \
     --scale 0.02 --warm --out "$STORE_TMP/warm1.json"
 MEGSIM_STORE="$STORE_TMP/store" python -m repro bench --suite smoke \
@@ -77,4 +78,58 @@ assert any(c.get("store.hits.disk", 0) > 0 for c in second_counters.values()), (
     "second warm run never read the persistent store"
 )
 print("store warm determinism: OK")
+EOF
+
+# The experiment-service contract (docs/service.md): booting the service
+# against a temp database and a fresh store, submitting the smoke suite
+# and draining the queue must (a) complete every request, (b) produce
+# results numerically identical to the direct pipeline path, which must
+# itself be a pure store hit afterwards (cross-path dedup), and (c) make
+# an identical resubmission execute zero stage work, proven by counters.
+echo "== service end-to-end gate =="
+SERVICE_DB="$SERVICE_TMP/service.sqlite3"
+MEGSIM_STORE="$SERVICE_TMP/store" MEGSIM_DB="$SERVICE_DB" \
+    python -m repro submit --suite smoke --scale 0.02
+MEGSIM_STORE="$SERVICE_TMP/store" MEGSIM_DB="$SERVICE_DB" \
+    python -m repro serve --once --jobs auto
+MEGSIM_STORE="$SERVICE_TMP/store" MEGSIM_DB="$SERVICE_DB" \
+    python -m repro submit --suite smoke --scale 0.02
+MEGSIM_STORE="$SERVICE_TMP/store" MEGSIM_DB="$SERVICE_DB" \
+    python -m repro serve --once --trace "$SERVICE_TMP/serve2.jsonl"
+MEGSIM_STORE="$SERVICE_TMP/store" python - "$SERVICE_DB" \
+    "$SERVICE_TMP/serve2.manifest.json" <<'EOF'
+import json
+import sys
+
+from repro.analysis.runner import evaluate_benchmark
+from repro.obs import collecting
+from repro.service import ResultsDB
+
+db_path, manifest_path = sys.argv[1:3]
+with ResultsDB(db_path) as db:
+    counts = db.counts()
+    runs = db.runs(limit=100)
+assert counts["requests"]["failed"] == 0, counts
+assert counts["requests"]["completed"] == 16, counts  # 8 + resubmission
+assert counts["jobs"] == {"pending": 0, "running": 0,
+                          "done": 48, "failed": 0}, counts
+assert len(runs) == 16, f"expected 16 runs, got {len(runs)}"
+for run in runs:
+    doc = run["metrics"]
+    with collecting() as col:
+        direct = evaluate_benchmark(run["benchmark"], scale=run["scale"])
+    computed = [c for c in col.counters if c.startswith("pipeline.computed.")]
+    assert not computed, f"{run['benchmark']}: direct run recomputed {computed}"
+    assert doc["relative_errors"] == direct.relative_errors(), run["benchmark"]
+    assert doc["totals"] == {
+        m: getattr(direct.totals, m) for m in doc["totals"]
+    }, run["benchmark"]
+    assert doc["reduction_factor"] == direct.reduction_factor, run["benchmark"]
+# The second serve adopted every job already done — zero executions.
+counters = json.load(open(manifest_path))["counters"]
+assert counters.get("service.jobs.deduped.done") == 48, counters
+assert "service.jobs.executed" not in counters, counters
+assert "service.jobs.created" not in counters, counters
+assert not any(c.startswith("pipeline.computed.") for c in counters), counters
+print("service end-to-end gate: OK")
 EOF

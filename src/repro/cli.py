@@ -10,6 +10,18 @@ Examples::
     megsim lint                       # static analysis (docs/linting.md)
     megsim bench --suite smoke        # benchmark suite -> BENCH_smoke.json
     megsim cache stats                # artifact-store occupancy
+    megsim submit --suite smoke       # queue evaluations for the service
+    megsim serve --once               # drain the queue through the worker pool
+    megsim status                     # request/job/result tallies
+    megsim runs --benchmark bbr1      # query recorded results
+
+The experiment service (see ``docs/service.md``): ``megsim submit``
+queues evaluation requests in a SQLite results database (default
+``~/.cache/megsim/service.sqlite3``, overridden by ``MEGSIM_DB`` or
+``--db``), ``megsim serve`` expands them into fingerprint-keyed stage
+jobs — deduplicated against prior work and the artifact store — and
+executes them through the worker pool; ``megsim status`` and ``megsim
+runs`` query the database.
 
 Caching (see ``docs/pipeline.md``): every evaluation runs through the
 staged pipeline backed by the persistent artifact store (default
@@ -61,8 +73,12 @@ from repro.parallel import (
     profile_parallel,
     resolve_jobs,
 )
+from repro.benchmark_support import SUITE_SCALES, suite_scale
 from repro.store import get_store, memory_store, store_scope
 from repro.workloads.benchmarks import benchmark_aliases, make_benchmark
+
+#: Subcommands that operate on the service results database.
+_SERVICE_COMMANDS = ("serve", "submit", "status", "runs")
 
 
 def _add_scale(parser: argparse.ArgumentParser) -> None:
@@ -88,6 +104,15 @@ def _add_store(parser: argparse.ArgumentParser) -> None:
         "--no-store", dest="no_store", action="store_true",
         help="run against a throwaway in-memory artifact store: nothing "
              "is read from or written to MEGSIM_STORE (docs/pipeline.md)",
+    )
+
+
+def _add_db(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--db", default=None, metavar="PATH",
+        help="results database file; defaults to the MEGSIM_DB "
+             "environment variable, else ~/.cache/megsim/service.sqlite3 "
+             "(docs/service.md)",
     )
 
 
@@ -216,6 +241,66 @@ def build_parser() -> argparse.ArgumentParser:
                        help="for gc: evict least-recently-used artifacts "
                             "until the store fits in this many bytes")
 
+    serve = commands.add_parser(
+        "serve", help="run the experiment-service dispatcher (docs/service.md)"
+    )
+    serve.add_argument("--once", action="store_true",
+                       help="drain the queue and exit instead of polling "
+                            "for new submissions")
+    serve.add_argument("--poll", type=float, default=1.0, metavar="SECONDS",
+                       help="sleep between empty polls in daemon mode "
+                            "(default %(default)s)")
+    serve.add_argument("--idle-limit", dest="idle_limit", type=int,
+                       default=None, metavar="N",
+                       help="exit after N consecutive empty polls "
+                            "(default: poll forever)")
+    _add_db(serve)
+    _add_jobs(serve)
+    _add_store(serve)
+    _add_obs(serve)
+
+    submit = commands.add_parser(
+        "submit", help="queue benchmark evaluations for the service"
+    )
+    submit.add_argument("benchmarks", nargs="*", metavar="BENCHMARK",
+                        help="benchmark aliases to evaluate "
+                             "(default: all of them); validated against "
+                             "the Table II registry at submit time")
+    submit.add_argument("--suite", choices=sorted(SUITE_SCALES), default=None,
+                        help="queue every benchmark at this suite's default "
+                             "scale (an explicit --scale still wins)")
+    submit.add_argument("--scale", type=float, default=None,
+                        help="sequence-length scale "
+                             "(default: the suite's scale, else 1.0)")
+    submit.add_argument("--seed", type=int, default=None,
+                        help="clustering seed override "
+                             "(default: the paper configuration's seed)")
+    _add_db(submit)
+    _add_obs(submit)
+
+    status = commands.add_parser(
+        "status", help="request/job/result tallies of the service database"
+    )
+    status.add_argument("--json", dest="as_json", action="store_true",
+                        help="print the status document as JSON")
+    _add_db(status)
+    _add_obs(status)
+
+    runs = commands.add_parser(
+        "runs", help="query recorded evaluations (newest first)"
+    )
+    runs.add_argument("--benchmark", choices=benchmark_aliases(), default=None,
+                      help="only runs of this benchmark")
+    runs.add_argument("--status", choices=("pending", "running", "completed",
+                                           "failed"), default=None,
+                      help="only runs in this request state")
+    runs.add_argument("--limit", type=int, default=20,
+                      help="show at most this many runs (default %(default)s)")
+    runs.add_argument("--json", dest="as_json", action="store_true",
+                      help="print the joined request+result rows as JSON")
+    _add_db(runs)
+    _add_obs(runs)
+
     lint = commands.add_parser(
         "lint", help="static analysis: determinism/layering/doc invariants"
     )
@@ -265,6 +350,14 @@ def main(argv: list[str] | None = None) -> int:
         config={"command": args.command},
     )
     manifest.record_jobs(*_jobs_facts(args))
+    if args.command in _SERVICE_COMMANDS:
+        from repro.service import SCHEMA_VERSION, resolve_db_path
+
+        # The version the command migrates the file to on open; the
+        # path after --db / MEGSIM_DB / default resolution.
+        manifest.record_service(
+            resolve_db_path(getattr(args, "db", None)), SCHEMA_VERSION
+        )
     try:
         with span(f"cli.{args.command}", command=args.command):
             return _dispatch(args)
@@ -372,6 +465,9 @@ def _run_command(args: argparse.Namespace) -> int:
     if args.command == "bench":
         return _bench(args)
 
+    if args.command in _SERVICE_COMMANDS:
+        return _service(args)
+
     if args.command == "lint":
         from repro.lint.engine import main as lint_main
 
@@ -469,6 +565,71 @@ def _run_command(args: argparse.Namespace) -> int:
         return 0
 
     return 1  # unreachable: argparse enforces the command set
+
+
+def _service(args: argparse.Namespace) -> int:
+    """The service subcommands: serve / submit / status / runs."""
+    import json
+
+    from repro.service import (
+        ResultsDB,
+        build_requests,
+        render_runs,
+        render_status,
+        serve,
+        service_status,
+        submit_requests,
+    )
+
+    if args.command == "serve":
+        summary = serve(
+            args.db,
+            parallel=ParallelConfig.from_cli(args.jobs),
+            once=args.once,
+            poll_seconds=args.poll,
+            idle_limit=args.idle_limit,
+        )
+        print(render_status(summary))
+        print(f"ticks:    {summary['ticks']}  "
+              f"(idle polls: {summary['idle_polls']})")
+        return 0
+
+    if args.command == "submit":
+        if args.suite is not None:
+            scale = suite_scale(args.suite, args.scale)
+        else:
+            scale = args.scale if args.scale is not None else 1.0
+        options = None if args.seed is None else MEGsimOptions(seed=args.seed)
+        requests = build_requests(
+            list(args.benchmarks), scale=scale, options=options
+        )
+        with ResultsDB(args.db) as db:
+            ids = submit_requests(db, requests)
+            for request, request_id in zip(requests, ids):
+                print(f"submitted #{request_id}: {request.alias} "
+                      f"scale={request.scale}")
+            print(f"{len(ids)} request(s) queued in {db.path}")
+        return 0
+
+    if args.command == "status":
+        with ResultsDB(args.db) as db:
+            document = service_status(db)
+        if args.as_json:
+            print(json.dumps(document, indent=2, sort_keys=True))
+        else:
+            print(render_status(document))
+        return 0
+
+    # runs
+    with ResultsDB(args.db) as db:
+        rows = db.runs(
+            benchmark=args.benchmark, status=args.status, limit=args.limit
+        )
+    if args.as_json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+    else:
+        print(render_runs(rows))
+    return 0
 
 
 def _bench(args: argparse.Namespace) -> int:

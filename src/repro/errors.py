@@ -42,6 +42,16 @@ class AnalysisError(ReproError):
     """An experiment or analysis step received inconsistent inputs."""
 
 
+class ServiceError(ReproError):
+    """The experiment service was misused or its database is unusable.
+
+    Raised for schema downgrades, malformed submissions and invalid
+    lifecycle transitions; transient job failures are *not* reported
+    through this error — they are recorded on the job row and surfaced
+    by ``megsim status``.
+    """
+
+
 class StoreError(ReproError):
     """The artifact store was misused or its on-disk state is unusable.
 

@@ -69,6 +69,10 @@ class RunManifest:
             perf-artifact attribution but excluded from the fingerprint,
             because results are byte-identical for any worker count
             (``docs/parallelism.md``).
+        service_db / service_schema_version: the results database a
+            service command ran against and its schema version (see
+            :meth:`record_service`).  Execution facts like ``jobs``:
+            recorded for attribution, excluded from the fingerprint.
         started_at / finished_at: UTC ISO-8601 wall-clock window.
         phases: per-span-name timing aggregate (``name``, ``count``,
             ``total_seconds``), filled by :meth:`finish`.
@@ -85,6 +89,8 @@ class RunManifest:
     platform: str = field(default_factory=_platform.platform)
     jobs_requested: str | None = None
     jobs_resolved: int | None = None
+    service_db: str | None = None
+    service_schema_version: int | None = None
     started_at: str | None = None
     finished_at: str | None = None
     phases: list = field(default_factory=list)
@@ -128,6 +134,27 @@ class RunManifest:
         """
         self.jobs_requested = None if requested is None else str(requested)
         self.jobs_resolved = None if resolved is None else int(resolved)
+        return self
+
+    def record_service(
+        self, db_path, schema_version: int | None
+    ) -> "RunManifest":
+        """Record the results database a service command ran against.
+
+        Args:
+            db_path: the resolved database file (after ``--db`` /
+                ``MEGSIM_DB`` / default resolution).
+            schema_version: the schema version the file was at.
+
+        Like :meth:`record_jobs`, these are execution facts —
+        :meth:`identity` and :meth:`fingerprint` ignore them, because
+        *where* results are archived cannot change what was computed
+        (``docs/observability.md``, "Run manifests").
+        """
+        self.service_db = None if db_path is None else str(db_path)
+        self.service_schema_version = (
+            None if schema_version is None else int(schema_version)
+        )
         return self
 
     def finish(self, collector=None) -> "RunManifest":
@@ -179,6 +206,10 @@ class RunManifest:
             "jobs": {
                 "requested": self.jobs_requested,
                 "resolved": self.jobs_resolved,
+            },
+            "service": {
+                "db": self.service_db,
+                "schema_version": self.service_schema_version,
             },
             "started_at": self.started_at,
             "finished_at": self.finished_at,

@@ -22,7 +22,7 @@ stage artifacts or their fingerprints::
     plan = artifacts["plan"]
 """
 
-from repro.pipeline.engine import run_pipeline
+from repro.pipeline.engine import materialize_stage, run_pipeline
 from repro.pipeline.request import PipelineRequest
 from repro.pipeline.stages import (
     STAGES,
@@ -37,6 +37,7 @@ __all__ = [
     "STAGES",
     "Stage",
     "evaluation_fingerprint",
+    "materialize_stage",
     "run_pipeline",
     "stage_fingerprints",
     "validate_stages",

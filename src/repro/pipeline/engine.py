@@ -7,12 +7,19 @@ already present — put there by an earlier call, another process, or a
 stage runs under a ``pipeline.<name>`` span and reports
 ``pipeline.hits.<name>`` / ``pipeline.computed.<name>`` counters, so a
 trace shows exactly which work a warm store absorbed.
+
+:func:`materialize_stage` is the single-stage counterpart used by the
+experiment service (:mod:`repro.service`): it produces exactly one
+stage's artifact, recursing into upstream stages only on store misses —
+the primitive that lets one evaluation be sharded into six
+fingerprint-keyed jobs executed by independent workers sharing a store.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
+from repro.errors import ConfigError
 from repro.obs import counter, span
 from repro.pipeline.request import PipelineRequest
 from repro.pipeline.stages import STAGES, stage_fingerprints
@@ -57,3 +64,68 @@ def run_pipeline(
                 counter(f"pipeline.hits.{stage.name}")
         artifacts[stage.name] = obj
     return artifacts
+
+
+def materialize_stage(
+    request: PipelineRequest,
+    name: str,
+    store: ArtifactStore | None = None,
+    fingerprints: dict[str, str] | None = None,
+    _artifacts: dict[str, Any] | None = None,
+) -> Any:
+    """Produce exactly one stage's artifact, recursing only on misses.
+
+    The store is consulted first; a hit decodes and returns without
+    touching any upstream stage.  On a miss the required upstream
+    artifacts are materialized the same way (recursively), the stage is
+    computed, and the result is persisted.  Counters and spans match
+    :func:`run_pipeline` (``pipeline.hits.<name>`` /
+    ``pipeline.computed.<name>`` under a ``pipeline.<name>`` span), so
+    sharded execution reports the same work totals as monolithic
+    execution — recursively materialized upstreams nest under the
+    requesting stage's span instead of appearing as siblings.
+
+    Args:
+        request: the resolved evaluation inputs.
+        name: the stage to produce (a :data:`STAGES` name).
+        store: artifact store to read/write; ``None`` recomputes.
+        fingerprints: precomputed :func:`stage_fingerprints` output.
+
+    Returns:
+        The stage's artifact.
+
+    Raises:
+        ConfigError: on an unknown stage name.
+    """
+    by_name = {stage.name: stage for stage in STAGES}
+    if name not in by_name:
+        raise ConfigError(
+            f"unknown pipeline stage {name!r}; expected one of "
+            f"{', '.join(by_name)}"
+        )
+    stage = by_name[name]
+    fps = fingerprints if fingerprints is not None else stage_fingerprints(request)
+    artifacts = _artifacts if _artifacts is not None else {}
+    if name in artifacts:
+        return artifacts[name]
+    fp = fps[name]
+    with span(
+        f"pipeline.{name}", benchmark=request.alias, fingerprint=fp[:12]
+    ):
+        obj = None
+        if store is not None and stage.persist:
+            obj = store.get(stage.kind, fp, decode=stage.decode)
+        if obj is None:
+            for upstream in stage.requires:
+                materialize_stage(
+                    request, upstream, store=store,
+                    fingerprints=fps, _artifacts=artifacts,
+                )
+            obj = stage.compute(request, artifacts)
+            counter(f"pipeline.computed.{name}")
+            if store is not None and stage.persist:
+                store.put(stage.kind, fp, obj, encode=stage.encode)
+        else:
+            counter(f"pipeline.hits.{name}")
+    artifacts[name] = obj
+    return obj

@@ -1,0 +1,124 @@
+"""Client-side helpers: submit requests, summarize status, render runs.
+
+Everything ``megsim submit`` / ``megsim status`` / ``megsim runs`` do
+beyond argument parsing lives here, so tests (and other tools) can
+drive the service without a subprocess.  Submission is deliberately
+cheap — it only fingerprints and inserts a row; expansion into jobs is
+the daemon's business — which keeps ``megsim submit`` snappy even when
+the queue is deep.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.sampler import MEGsimOptions
+from repro.errors import ConfigError
+from repro.gpu.config import GPUConfig
+from repro.obs import counter, span
+from repro.pipeline import evaluation_fingerprint
+from repro.pipeline.request import PipelineRequest
+from repro.service.codec import encode_request
+from repro.service.db import ResultsDB
+from repro.workloads.benchmarks import benchmark_aliases
+
+
+def build_requests(
+    benchmarks: list[str],
+    scale: float = 1.0,
+    options: MEGsimOptions | None = None,
+    config: GPUConfig | None = None,
+) -> list[PipelineRequest]:
+    """Resolve benchmark aliases into submission-ready requests.
+
+    An empty ``benchmarks`` list means *every* Table II benchmark (the
+    ``megsim submit --suite`` path).  Aliases are validated eagerly so a
+    typo fails at submit time, not inside the daemon.
+
+    Raises:
+        ConfigError: on an unknown benchmark alias.
+    """
+    known = benchmark_aliases()
+    unknown = [alias for alias in benchmarks if alias not in known]
+    if unknown:
+        raise ConfigError(
+            f"unknown benchmark(s) {', '.join(unknown)}; "
+            f"available: {', '.join(known)}"
+        )
+    aliases = list(benchmarks) if benchmarks else list(known)
+    return [
+        PipelineRequest.create(
+            alias, scale=scale, options=options, config=config
+        )
+        for alias in aliases
+    ]
+
+
+def submit_requests(
+    db: ResultsDB, requests: list[PipelineRequest]
+) -> list[int]:
+    """Insert one pending request row per evaluation; returns their ids."""
+    ids = []
+    with span("service.submit", requests=len(requests)):
+        for request in requests:
+            request_id = db.insert_request(
+                fingerprint=evaluation_fingerprint(request),
+                benchmark=request.alias,
+                scale=request.scale,
+                seed=request.options.seed,
+                request_json=json.dumps(
+                    encode_request(request), sort_keys=True
+                ),
+            )
+            counter("service.requests.submitted")
+            ids.append(request_id)
+    return ids
+
+
+def service_status(db: ResultsDB) -> dict[str, Any]:
+    """The ``megsim status`` document: tallies plus database identity."""
+    summary = db.counts()
+    summary["db_path"] = str(db.path)
+    summary["schema_version"] = db.schema_version()
+    return summary
+
+
+def render_status(status: dict[str, Any]) -> str:
+    """Human-readable ``megsim status`` output."""
+    lines = [
+        f"database: {status['db_path']} "
+        f"(schema v{status['schema_version']})",
+        "requests: " + "  ".join(
+            f"{name}={count}"
+            for name, count in status["requests"].items()
+        ),
+        "jobs:     " + "  ".join(
+            f"{name}={count}" for name, count in status["jobs"].items()
+        ),
+        f"results:  {status['results']}",
+    ]
+    return "\n".join(lines)
+
+
+def render_runs(runs: list[dict[str, Any]]) -> str:
+    """Human-readable ``megsim runs`` table (newest first)."""
+    if not runs:
+        return "no runs recorded"
+    header = (
+        f"{'id':>4}  {'benchmark':<9} {'scale':>6}  {'status':<9} "
+        f"{'cycles err':>10}  {'reduction':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for run in runs:
+        metrics = run.get("metrics") or {}
+        errors = metrics.get("relative_errors") or {}
+        cycles = errors.get("cycles")
+        reduction = metrics.get("reduction_factor")
+        lines.append(
+            f"{run['id']:>4}  {run['benchmark']:<9} {run['scale']:>6.3f}  "
+            f"{run['status']:<9} "
+            f"{(f'{cycles:.2%}' if cycles is not None else '-'):>10}  "
+            f"{(f'{reduction:.1f}x' if reduction is not None else '-'):>9}"
+        )
+    return "\n".join(lines)

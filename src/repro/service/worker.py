@@ -1,0 +1,68 @@
+"""Job execution: the measurer half of the service.
+
+:func:`execute_job` is a :func:`~repro.parallel.parallel_map` worker —
+the same function runs inline at ``--jobs 1`` and in pool processes at
+``--jobs N``.  Each invocation claims nothing (the dispatcher already
+moved the job to ``running``); it materializes exactly one stage
+artifact against the shared content-addressed store via
+:func:`~repro.pipeline.materialize_stage` and records the terminal
+job state in the results database itself — workers are first-class
+database writers, which is what the WAL/busy-timeout configuration of
+:class:`~repro.service.db.ResultsDB` exists for.
+
+Worker-side store resolution: pool workers rebuild their process-wide
+store from the root handed through the shared worker state, so a
+daemon pointed at a non-default root (``MEGSIM_STORE`` or a test
+fixture) dispatches to workers reading and writing the *same* tree.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.obs import counter, span
+from repro.parallel import get_state
+from repro.pipeline import materialize_stage
+from repro.service.codec import decode_request
+from repro.service.db import ResultsDB
+from repro.store import ArtifactStore, get_store, set_store
+
+
+def _worker_store(root: str | None) -> ArtifactStore:
+    """The store a worker must use: the daemon's root, not a default.
+
+    Rebuilds the process-wide store when the inherited one points
+    elsewhere (spawned workers re-resolve from the environment, which
+    may disagree with a root installed via :func:`~repro.store.set_store`).
+    """
+    store = get_store()
+    current = None if store.root is None else str(store.root)
+    if root != current:
+        store = ArtifactStore(root=root)
+        set_store(store)
+    return store
+
+
+def execute_job(payload: tuple[int, str, str]) -> tuple[int, str | None]:
+    """Run one stage job; returns ``(job_id, error-or-None)``.
+
+    The payload carries ``(job_id, stage name, request_json)``; the
+    database path and store root come through the shared worker state
+    (``parallel_map(..., state={"db_path": ..., "store_root": ...})``).
+    The job's terminal transition is written here, by the worker.
+    """
+    job_id, stage_name, request_json = payload
+    store = _worker_store(get_state("store_root"))
+    request = decode_request(request_json)
+    error: str | None = None
+    with span(
+        f"service.job.{stage_name}", benchmark=request.alias, job_id=job_id
+    ):
+        try:
+            materialize_stage(request, stage_name, store=store)
+            counter("service.jobs.executed")
+        except ReproError as exc:
+            error = f"{type(exc).__name__}: {exc}"
+            counter("service.jobs.failed")
+    with ResultsDB(get_state("db_path")) as db:
+        db.finish_job(job_id, error=error)
+    return job_id, error

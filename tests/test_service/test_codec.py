@@ -1,0 +1,78 @@
+"""Request codec: fingerprint-preserving JSON round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.sampler import MEGsimOptions
+from repro.errors import ServiceError
+from repro.gpu.config import GPUConfig
+from repro.pipeline import stage_fingerprints
+from repro.pipeline.request import PipelineRequest
+from repro.service.codec import (
+    REQUEST_SCHEMA,
+    REQUEST_SCHEMA_VERSION,
+    decode_request,
+    encode_request,
+)
+
+
+def test_default_request_round_trips():
+    request = PipelineRequest.create("bbr1", scale=0.1)
+    decoded = decode_request(encode_request(request))
+    assert decoded == request
+
+
+def test_round_trip_preserves_fingerprints():
+    """The property the dedup machinery rests on: a decoded request
+    addresses the exact same artifacts as the original."""
+    request = PipelineRequest.create(
+        "hwh",
+        scale=0.25,
+        options=MEGsimOptions(seed=7, max_k=5, projection_dims=3),
+        config=GPUConfig(rendering_mode="imr", tile_size=16),
+    )
+    decoded = decode_request(encode_request(request))
+    assert stage_fingerprints(decoded) == stage_fingerprints(request)
+
+
+def test_round_trip_through_json_string():
+    request = PipelineRequest.create("asp", scale=0.05)
+    document = json.dumps(encode_request(request), sort_keys=True)
+    assert decode_request(document) == request
+
+
+def test_document_shape():
+    document = encode_request(PipelineRequest.create("pvz", scale=0.5))
+    assert document["schema"] == REQUEST_SCHEMA
+    assert document["version"] == REQUEST_SCHEMA_VERSION
+    assert document["alias"] == "pvz"
+    assert document["scale"] == 0.5
+    assert isinstance(document["options"], dict)
+    assert isinstance(document["config"], dict)
+
+
+def test_decode_rejects_bad_json():
+    with pytest.raises(ServiceError, match="not JSON"):
+        decode_request("{nope")
+
+
+def test_decode_rejects_wrong_schema():
+    document = encode_request(PipelineRequest.create("bbr1", scale=0.1))
+    document["schema"] = "something-else"
+    with pytest.raises(ServiceError, match="schema"):
+        decode_request(document)
+
+
+def test_decode_rejects_unknown_version():
+    document = encode_request(PipelineRequest.create("bbr1", scale=0.1))
+    document["version"] = 999
+    with pytest.raises(ServiceError, match="version"):
+        decode_request(document)
+
+
+def test_decode_rejects_non_object():
+    with pytest.raises(ServiceError, match="JSON object"):
+        decode_request(json.dumps([1, 2, 3]))

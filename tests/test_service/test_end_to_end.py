@@ -1,0 +1,199 @@
+"""Submit -> serve -> results: the whole service against a real store.
+
+These tests pin the acceptance criteria of the service: results coming
+out of the job queue are numerically identical to the direct pipeline
+path, and resubmitting identical work performs zero new stage
+executions (proven by counters, not by timing).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.runner import evaluate_benchmark
+from repro.obs import collecting
+from repro.parallel import ParallelConfig
+from repro.pipeline import STAGES
+from repro.service import (
+    ResultsDB,
+    assemble_result,
+    build_requests,
+    serve,
+    submit_requests,
+)
+from repro.store import ArtifactStore, store_scope
+
+ALIAS = "bbr1"
+SCALE = 0.02
+
+
+@pytest.fixture
+def store(tmp_path):
+    """A cold, test-private store installed process-wide.
+
+    ``store_scope`` restores the session store afterwards even though
+    workers may re-install the store via ``set_store`` mid-test.
+    """
+    with store_scope(ArtifactStore(root=tmp_path / "store")) as handle:
+        yield handle
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    return tmp_path / "svc.sqlite3"
+
+
+def _submit(db_path, benchmarks=(ALIAS,), scale=SCALE) -> list[int]:
+    with ResultsDB(db_path) as db:
+        return submit_requests(db, build_requests(list(benchmarks), scale=scale))
+
+
+def test_serve_once_completes_a_submission(store, db_path):
+    ids = _submit(db_path)
+    with collecting() as collector:
+        summary = serve(db_path, once=True)
+
+    assert summary["requests"]["completed"] == 1
+    assert summary["requests"]["failed"] == 0
+    assert summary["jobs"]["done"] == len(STAGES)
+    assert summary["results"] == 1
+    assert collector.counters["service.jobs.created"] == len(STAGES)
+    assert collector.counters["service.jobs.executed"] == len(STAGES)
+    for stage in STAGES:
+        assert collector.counters[f"pipeline.computed.{stage.name}"] >= 1
+
+    with ResultsDB(db_path) as db:
+        result = db.result(ids[0])
+    assert result["benchmark"] == ALIAS
+    assert result["schema"] == "megsim-result"
+
+
+def test_service_results_match_the_direct_path(store, db_path):
+    """The numbers archived by the service are byte-identical to what
+    `evaluate_benchmark` computes monolithically, recomputed from
+    scratch with the store bypassed entirely."""
+    ids = _submit(db_path)
+    serve(db_path, once=True)
+    with ResultsDB(db_path) as db:
+        result = db.result(ids[0])
+
+    direct = evaluate_benchmark(ALIAS, scale=SCALE, use_cache=False)
+    assert result["relative_errors"] == direct.relative_errors()
+    assert result["totals"] == {
+        metric: getattr(direct.totals, metric)
+        for metric in result["totals"]
+    }
+    assert result["estimates"] == {
+        metric: getattr(direct.estimate, metric)
+        for metric in result["estimates"]
+    }
+    assert result["reduction_factor"] == direct.reduction_factor
+    assert result["representatives"] == direct.plan.selected_frame_count
+
+
+def test_resubmission_is_fully_deduped(store, db_path):
+    first = _submit(db_path)
+    serve(db_path, once=True)
+
+    with collecting() as collector:
+        second = _submit(db_path)
+        serve(db_path, once=True)
+
+    # Zero new stage work: no executions, no recomputations — the six
+    # existing done jobs are linked to the new request as-is.
+    assert collector.counters["service.jobs.deduped.done"] == len(STAGES)
+    assert "service.jobs.executed" not in collector.counters
+    assert "service.jobs.created" not in collector.counters
+    assert not any(
+        name.startswith("pipeline.computed.") for name in collector.counters
+    )
+
+    with ResultsDB(db_path) as db:
+        assert db.counts()["jobs"]["done"] == len(STAGES)
+        assert db.result(second[0]) == db.result(first[0])
+
+
+def test_artifacts_from_direct_runs_dedupe_into_the_service(store, db_path):
+    """Work done outside the service (a plain evaluate/`megsim run`)
+    is adopted through the store: jobs are born done, nothing executes."""
+    evaluate_benchmark(ALIAS, scale=SCALE)  # populates the shared store
+
+    ids = _submit(db_path)
+    with collecting() as collector:
+        serve(db_path, once=True)
+
+    assert collector.counters["service.jobs.deduped.store"] == len(STAGES)
+    assert "service.jobs.executed" not in collector.counters
+    assert not any(
+        name.startswith("pipeline.computed.") for name in collector.counters
+    )
+    with ResultsDB(db_path) as db:
+        result = db.result(ids[0])
+        assert result is not None
+        sources = {
+            row["source"] for row in db.jobs_for_request(ids[0])
+        }
+    assert sources == {"store"}
+
+
+def test_serve_with_worker_pool_matches_serial(store, db_path):
+    """`--jobs 2` routes jobs through real pool processes (which write
+    their own terminal states into the database) without changing the
+    archived numbers."""
+    ids = _submit(db_path)
+    summary = serve(db_path, once=True, parallel=ParallelConfig(jobs=2))
+
+    assert summary["requests"]["completed"] == 1
+    assert summary["jobs"]["done"] == len(STAGES)
+    with ResultsDB(db_path) as db:
+        result = db.result(ids[0])
+    direct = evaluate_benchmark(ALIAS, scale=SCALE, use_cache=False)
+    assert result["relative_errors"] == direct.relative_errors()
+
+
+def test_corrupt_request_fails_cleanly(store, db_path):
+    with ResultsDB(db_path) as db:
+        request_id = db.insert_request("fp", ALIAS, SCALE, 1234, "{not json")
+    summary = serve(db_path, once=True)
+
+    assert summary["requests"]["failed"] == 1
+    assert summary["results"] == 0
+    with ResultsDB(db_path) as db:
+        row = db.request(request_id)
+        assert row["status"] == "failed"
+        assert "ServiceError" in row["error"]
+
+
+def test_failed_request_carries_the_job_error(store, db_path, monkeypatch):
+    """A stage blowing up marks the job failed, and finalization rolls
+    the first job error up into the request row."""
+    import repro.service.worker as worker_module
+    from repro.errors import SimulationError
+
+    def exploding(request, name, store=None, fingerprints=None):
+        raise SimulationError("injected stage failure")
+
+    monkeypatch.setattr(worker_module, "materialize_stage", exploding)
+    ids = _submit(db_path)
+    with collecting() as collector:
+        summary = serve(db_path, once=True)
+
+    assert summary["requests"]["failed"] == 1
+    assert collector.counters["service.jobs.failed"] >= 1
+    with ResultsDB(db_path) as db:
+        row = db.request(ids[0])
+        assert row["status"] == "failed"
+        assert "SimulationError" in row["error"]
+        assert db.result(ids[0]) is None
+
+
+def test_assemble_result_document_is_json_serializable(store):
+    request = build_requests([ALIAS], scale=SCALE)[0]
+    document = assemble_result(request, store)
+    round_tripped = json.loads(json.dumps(document, sort_keys=True))
+    assert round_tripped["fingerprints"]["estimate"]
+    assert set(round_tripped["relative_errors"]) == {
+        "cycles", "dram_accesses", "l2_accesses", "tile_cache_accesses"
+    }
