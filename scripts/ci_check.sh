@@ -6,8 +6,18 @@ cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+# Includes the interprocedural flow rules (MEG010-MEG013); the exit
+# code also fails on stale baseline entries, so the baseline can only
+# ever shrink.
 echo "== megsim lint =="
 python -m repro.lint --root .
+
+# The flow rules run against an empty baseline at HEAD: nothing the
+# effect analysis finds may be grandfathered.
+if [ -f lint-baseline.txt ] && grep -qv '^[[:space:]]*\(#\|$\)' lint-baseline.txt; then
+    echo "lint-baseline.txt must stay empty at HEAD (fix, don't baseline)" >&2
+    exit 1
+fi
 
 echo "== tier-1 tests =="
 python -m pytest -x -q

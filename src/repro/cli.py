@@ -321,6 +321,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="exit non-zero on warnings too")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalog and exit")
+    lint.add_argument("--effects", default="", metavar="MODULE:FUNC",
+                      help="print one function's inferred effect summary "
+                           "(declared/direct/ambient, with call-site "
+                           "chains) as deterministic JSON and exit")
 
     return parser
 
@@ -476,6 +480,8 @@ def _run_command(args: argparse.Namespace) -> int:
             argv += ["--select", args.select]
         if args.disable:
             argv += ["--disable", args.disable]
+        if args.effects:
+            argv += ["--effects", args.effects]
         for flag in ("no_baseline", "write_baseline", "strict", "list_rules"):
             if getattr(args, flag):
                 argv.append("--" + flag.replace("_", "-"))

@@ -3,7 +3,11 @@
 An ``ast``-based rule engine enforcing the invariants the pipeline's
 trustworthiness rests on — seeded randomness, no wall-clock reads in
 simulation paths, the package layering DAG, exception hygiene, and
-docs that match the code.  Rule catalog and workflow: ``docs/linting.md``.
+docs that match the code — plus an interprocedural effect analysis
+(``repro.lint.flow``) that proves stage compute cones read only
+fingerprinted inputs, worker callables are safe to ship across the
+process-pool boundary, and the service migration chain is sound.
+Rule catalog and workflow: ``docs/linting.md``.
 
 Quickstart::
 
@@ -22,16 +26,20 @@ from repro.lint.baseline import load_baseline, write_baseline
 from repro.lint.config import LintConfig, load_config
 from repro.lint.engine import LintResult, run_lint, select_rules
 from repro.lint.findings import Finding, Severity
+from repro.lint.flow import EFFECT_KINDS, FlowAnalysis, get_flow
 from repro.lint.reporters import render_json, render_text
 from repro.lint.rules import ALL_RULES, Rule
 
 __all__ = [
     "ALL_RULES",
+    "EFFECT_KINDS",
     "Finding",
+    "FlowAnalysis",
     "LintConfig",
     "LintResult",
     "Rule",
     "Severity",
+    "get_flow",
     "load_baseline",
     "load_config",
     "render_json",

@@ -65,6 +65,20 @@ class LintConfig:
         raise_allowed: builtin exception names that MEG005 tolerates.
         baseline: suppression file path (created on ``--write-baseline``).
         disable: rule ids switched off entirely.
+        ambient: the declared-ambient allowlist for the flow rules —
+            ``module:qualname`` -> effect kinds the function is allowed
+            to touch (equivalent to a ``# megsim: ambient(...)`` pragma;
+            MEG011 verifies these both ways).
+        ambient_paths: subtrees blanket-declared ambient for *all*
+            effect kinds (the obs layer: every sink touches collector
+            state and the clock by design).
+        store_paths: subtrees whose filesystem access is sanctioned
+            (the content-addressed store — "filesystem access outside
+            ``repro.store``" is the MEG010 wording).
+        stages_module: the pipeline stage table MEG010 walks.
+        db_module: the migration chain MEG013 parses.
+        worker_entrypoints: canonical dotted names of functions that
+            ship their callable argument to worker processes (MEG012).
     """
 
     root: Path
@@ -95,6 +109,14 @@ class LintConfig:
     raise_allowed: tuple[str, ...] = ("NotImplementedError",)
     baseline: str = "lint-baseline.txt"
     disable: tuple[str, ...] = ()
+    ambient: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    ambient_paths: tuple[str, ...] = ("src/repro/obs",)
+    store_paths: tuple[str, ...] = ("src/repro/store",)
+    stages_module: str = "src/repro/pipeline/stages.py"
+    db_module: str = "src/repro/service/db.py"
+    worker_entrypoints: tuple[str, ...] = (
+        "repro.parallel.pool.parallel_map",
+    )
 
     @property
     def baseline_path(self) -> Path:
@@ -135,12 +157,17 @@ def load_config(root: Path | str) -> LintConfig:
         "docs": "docs_paths",
         "raise-allowed": "raise_allowed",
         "disable": "disable",
+        "ambient-paths": "ambient_paths",
+        "store-paths": "store_paths",
+        "worker-entrypoints": "worker_entrypoints",
     }
     simple_strings = {
         "package-root": "package_root",
         "api-doc": "api_doc",
         "cli-module": "cli_module",
         "baseline": "baseline",
+        "stages-module": "stages_module",
+        "db-module": "db_module",
     }
     for key, value in section.items():
         if key in simple_lists:
@@ -157,6 +184,19 @@ def load_config(root: Path | str) -> LintConfig:
                     "[tool.megsim-lint] layers must map component -> integer"
                 )
             config.layers = dict(value)
+        elif key == "ambient":
+            if not isinstance(value, dict) or not all(
+                isinstance(kinds, list)
+                and all(isinstance(kind, str) for kind in kinds)
+                for kinds in value.values()
+            ):
+                raise ConfigError(
+                    "[tool.megsim-lint] ambient must map "
+                    "module:function -> list of effect kinds"
+                )
+            config.ambient = {
+                name: tuple(kinds) for name, kinds in value.items()
+            }
         elif key == "public-modules":
             if not isinstance(value, dict) or not all(
                 isinstance(path, str) for path in value.values()

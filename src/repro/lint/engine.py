@@ -8,6 +8,7 @@ test suite); ``main`` is the
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -16,6 +17,7 @@ from repro.errors import ConfigError
 from repro.lint.baseline import load_baseline, split_findings, write_baseline
 from repro.lint.config import LintConfig, load_config
 from repro.lint.findings import Finding, Severity
+from repro.lint.flow import get_flow
 from repro.lint.project import load_project
 from repro.lint.reporters import render_json, render_text, sorted_findings
 from repro.lint.rules import ALL_RULES, Rule
@@ -45,8 +47,14 @@ class LintResult:
         )
 
     def exit_code(self, strict: bool = False) -> int:
-        """0 = clean; 1 = findings (errors, or anything under --strict)."""
-        if self.error_count or (strict and self.findings):
+        """0 = clean; 1 = findings or stale baseline keys.
+
+        Stale baseline entries fail the run unconditionally: a
+        suppression that no longer matches anything must be deleted
+        (or the baseline rewritten), so suppressions cannot outlive
+        the findings they were written for.
+        """
+        if self.error_count or self.stale_keys or (strict and self.findings):
             return 1
         return 0
 
@@ -144,11 +152,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--effects", default="", metavar="MODULE:FUNC",
+        help=(
+            "print the inferred effect summary of one function (e.g. "
+            "repro.pipeline.stages:_compute_plan) as deterministic "
+            "JSON — declared kinds, direct effects with sites, and "
+            "ambient/absorbed items with call-site chains — and exit"
+        ),
+    )
     return parser
 
 
 def _split_ids(raw: str) -> tuple[str, ...]:
     return tuple(part.strip() for part in raw.split(",") if part.strip())
+
+
+def dump_effects(config: LintConfig, spec: str) -> int:
+    """``--effects``: print one function's effect summary as JSON.
+
+    The output is deterministic (sorted collections, no timestamps),
+    which is what the golden tests pin; see docs/linting.md.
+    """
+    project = load_project(config)
+    flow = get_flow(project)
+    qualname = flow.resolve_spec(spec)
+    if qualname is None:
+        print(
+            f"megsim lint: --effects: no function matches {spec!r} "
+            "(spell it module:qualname, e.g. "
+            "repro.pipeline.stages:_compute_plan)",
+            file=sys.stderr,
+        )
+        return 2
+    print(json.dumps(flow.summary(qualname), indent=2))
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -159,6 +197,13 @@ def main(argv: list[str] | None = None) -> int:
         for rule in ALL_RULES:
             print(f"{rule.rule_id}  {rule.name:16s} {rule.summary}")
         return 0
+
+    if args.effects:
+        try:
+            return dump_effects(load_config(Path(args.root)), args.effects)
+        except ConfigError as exc:
+            print(f"megsim lint: configuration error: {exc}", file=sys.stderr)
+            return 2
 
     try:
         config = load_config(Path(args.root))

@@ -1,0 +1,255 @@
+"""Ambient-effect vocabulary and the per-call detectors.
+
+An :class:`Effect` records one ambient interaction at one source
+location.  The *kind* vocabulary is closed (:data:`EFFECT_KINDS`):
+
+* ``env`` — reads of ``os.environ`` / ``os.getenv``: configuration that
+  never enters a stage fingerprint;
+* ``wall-clock`` — ``time.time``-style reads (shared with MEG002);
+* ``rng`` — entropy-seeded or global-state randomness (shared with
+  MEG001);
+* ``filesystem`` — file and directory I/O outside ``repro.store``;
+* ``process`` — process identity: pid, hostname, CPU topology;
+* ``global-read`` / ``global-write`` — loads/mutations of *mutable*
+  module globals (names that some function in the module actually
+  rebinds or mutates; never-touched module constants are just values).
+
+Detection is name-based over canonically resolved call targets (see
+:mod:`repro.lint.flow.names`), plus a curated set of filesystem method
+names for receivers whose type cannot be resolved — the conservative
+side of "conservative on dynamic dispatch".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The closed effect-kind vocabulary, in reporting order.
+EFFECT_KINDS = (
+    "env",
+    "wall-clock",
+    "rng",
+    "filesystem",
+    "process",
+    "global-read",
+    "global-write",
+)
+
+#: Wall-clock reads, canonical dotted names after alias resolution.
+#: (MEG002 matches exactly this set; the flow analysis reuses it.)
+WALL_CLOCK = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.clock_gettime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+#: Environment reads.  ``os.environ`` matches as a prefix so that
+#: ``os.environ.get`` / ``os.environ[...]`` are both covered.
+ENV_READS = frozenset({"os.environ", "os.environb", "os.getenv"})
+
+#: Process-identity reads: values that differ between hosts/processes.
+PROCESS_READS = frozenset({
+    "os.getpid",
+    "os.getppid",
+    "os.getlogin",
+    "os.uname",
+    "os.cpu_count",
+    "os.sched_getaffinity",
+    "socket.gethostname",
+    "socket.getfqdn",
+    "platform.node",
+    "platform.platform",
+    "platform.uname",
+    "getpass.getuser",
+    "multiprocessing.cpu_count",
+    "multiprocessing.current_process",
+})
+
+#: Filesystem touchpoints by canonical callable name.
+FILESYSTEM_CALLS = frozenset({
+    "open",
+    "io.open",
+    "os.remove",
+    "os.unlink",
+    "os.rename",
+    "os.replace",
+    "os.mkdir",
+    "os.makedirs",
+    "os.rmdir",
+    "os.removedirs",
+    "os.listdir",
+    "os.scandir",
+    "os.stat",
+    "os.walk",
+    "os.chdir",
+    "os.getcwd",
+    "os.path.exists",
+    "os.path.isfile",
+    "os.path.isdir",
+    "os.path.getsize",
+    "sqlite3.connect",
+    "tempfile.mkdtemp",
+    "tempfile.mkstemp",
+    "tempfile.gettempdir",
+    "tempfile.TemporaryDirectory",
+    "tempfile.NamedTemporaryFile",
+    "shutil.rmtree",
+    "shutil.copy",
+    "shutil.copy2",
+    "shutil.copyfile",
+    "shutil.copytree",
+    "shutil.move",
+    "shutil.disk_usage",
+    "pathlib.Path.home",
+    "pathlib.Path.cwd",
+})
+
+#: Method names treated as filesystem I/O when the receiver's type
+#: cannot be resolved to a project class (``pathlib.Path`` idiom).
+FILESYSTEM_METHODS = frozenset({
+    "read_text",
+    "write_text",
+    "read_bytes",
+    "write_bytes",
+    "mkdir",
+    "rmdir",
+    "unlink",
+    "touch",
+    "glob",
+    "rglob",
+    "iterdir",
+    "is_file",
+    "is_dir",
+    "exists",
+    "stat",
+    "rename",
+    "replace",
+    "expanduser",
+    "samefile",
+    "hardlink_to",
+    "symlink_to",
+})
+
+#: Entropy sources beyond the ``random``/``numpy.random`` families.
+ENTROPY_CALLS = frozenset({
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "os.urandom",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.token_urlsafe",
+    "secrets.randbelow",
+    "secrets.choice",
+})
+
+#: numpy.random entry points that are fine *when given a seed argument*.
+SEEDABLE_NUMPY = frozenset({
+    "default_rng", "Generator", "RandomState", "SeedSequence",
+})
+
+#: Method names whose call mutates the receiver in place (used to
+#: detect writes to mutable module globals).
+MUTATING_METHODS = frozenset({
+    "append",
+    "extend",
+    "insert",
+    "remove",
+    "pop",
+    "popitem",
+    "clear",
+    "update",
+    "setdefault",
+    "add",
+    "discard",
+    "appendleft",
+    "popleft",
+    "sort",
+    "reverse",
+})
+
+
+@dataclass(frozen=True, order=True)
+class Effect:
+    """One ambient interaction at one source location.
+
+    Attributes:
+        kind: one of :data:`EFFECT_KINDS`.
+        detail: what was touched — a canonical callable name
+            (``os.getenv``), a method spelling (``.read_text``) or a
+            module-global name (``repro.store.artifact._ACTIVE``).
+        path: root-relative POSIX path of the source file.
+        line: 1-based line of the interaction.
+    """
+
+    kind: str
+    detail: str
+    path: str
+    line: int
+
+    def site(self) -> str:
+        """``path:line`` — the rendering used in findings and dumps."""
+        return f"{self.path}:{self.line}"
+
+
+def call_effect(resolved: str, has_args: bool) -> tuple[str, str] | None:
+    """Classify a canonically resolved call as ``(kind, detail)``.
+
+    Args:
+        resolved: the canonical dotted callable name.
+        has_args: whether the call site passes any arguments (seeded
+            RNG constructors are sanctioned).
+
+    Returns:
+        ``None`` when the call carries no ambient effect.
+    """
+    if resolved in ENV_READS or resolved.startswith("os.environ."):
+        detail = "os.environ" if resolved.startswith("os.environ") else resolved
+        return "env", detail
+    if resolved in WALL_CLOCK:
+        return "wall-clock", resolved
+    if resolved in PROCESS_READS:
+        return "process", resolved
+    if resolved in FILESYSTEM_CALLS:
+        return "filesystem", resolved
+    if resolved in ENTROPY_CALLS:
+        return "rng", resolved
+    rng = rng_effect(resolved, has_args)
+    if rng is not None:
+        return "rng", rng
+    return None
+
+
+def rng_effect(resolved: str, has_args: bool) -> str | None:
+    """MEG001's randomness classification, shared with the flow pass.
+
+    Returns the offending canonical name, or ``None`` when the call is
+    deterministic (or explicitly seeded).
+    """
+    if resolved.startswith("random.") and resolved != "random":
+        attr = resolved.split(".", 1)[1]
+        if attr == "Random" and has_args:
+            return None  # explicit random.Random(seed): the sanctioned path
+        return resolved
+    if resolved.startswith("numpy.random."):
+        attr = resolved.rsplit(".", 1)[1]
+        if attr in SEEDABLE_NUMPY:
+            return None if has_args else resolved
+        return resolved
+    return None
+
+
+def attribute_read_effect(resolved: str) -> tuple[str, str] | None:
+    """Classify a non-call attribute/name *read* (``os.environ[...]``)."""
+    if resolved in ("os.environ", "os.environb"):
+        return "env", "os.environ"
+    return None

@@ -1,0 +1,140 @@
+"""Module-level name resolution for the flow analysis.
+
+:class:`ModuleNames` maps the local names of one module to canonical
+dotted origins, superseding the per-file
+:class:`~repro.lint.rules.base.ImportTable` with three extra powers the
+interprocedural rules (and the aliased-import fixes to MEG001/MEG002)
+need:
+
+* **relative imports** — ``from .base import helper`` inside
+  ``repro.lint.rules.determinism`` resolves to
+  ``repro.lint.rules.base.helper``;
+* **module-level assignment aliases** — ``_t = time.time`` makes a later
+  ``_t()`` resolve to ``time.time``, closing the evasion where an alias
+  assignment (rather than an import alias) hides a banned call;
+* **locally defined names** — a module-level ``def f`` or ``class C``
+  resolves to ``<module>.f`` / ``<module>.C`` so intra-module calls
+  become call-graph edges.
+"""
+
+from __future__ import annotations
+
+import ast
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, ``None`` for anything else.
+
+    Lives here (not in ``rules.base``, which re-exports it) so the flow
+    package never imports the rules package — that direction would be
+    circular, since the rule registry imports the flow rules.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def module_name(relpath: str, package_root: str) -> str:
+    """The dotted module name of a source file.
+
+    Files under ``package_root`` (e.g. ``src/repro``) map into the
+    package named by its last path component (``repro``); anything else
+    falls back to the dotted relative path.  ``__init__.py`` names the
+    package itself.
+    """
+    package = package_root.rstrip("/").rsplit("/", 1)[-1]
+    if relpath == package_root or relpath.startswith(package_root + "/"):
+        rest = relpath[len(package_root):].lstrip("/")
+        parts = [package] + [p for p in rest.split("/") if p]
+    else:
+        parts = [p for p in relpath.split("/") if p]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+class ModuleNames:
+    """Canonical name resolution for one parsed module.
+
+    Args:
+        tree: the module's AST.
+        module: its dotted name (see :func:`module_name`).
+        is_package: whether the file is an ``__init__.py`` (changes the
+            anchor package of relative imports).
+    """
+
+    def __init__(
+        self, tree: ast.Module, module: str, is_package: bool = False
+    ) -> None:
+        self.module = module
+        self.aliases: dict[str, str] = {}
+        self._collect_imports(tree, is_package)
+        self._collect_module_bindings(tree)
+
+    # -- construction --------------------------------------------------
+
+    def _anchor(self, level: int, is_package: bool) -> list[str]:
+        """The package a relative import of ``level`` dots refers to."""
+        parts = self.module.split(".") if self.module else []
+        if not is_package and parts:
+            parts = parts[:-1]
+        drop = level - 1
+        return parts[: len(parts) - drop] if drop else parts
+
+    def _collect_imports(self, tree: ast.Module, is_package: bool) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    origin = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+                    self.aliases[local] = origin
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    anchor = self._anchor(node.level, is_package)
+                    base = ".".join(anchor + ([node.module] if node.module else []))
+                elif node.module:
+                    base = node.module
+                else:  # pragma: no cover - `from import` cannot parse
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.aliases[local] = (
+                        f"{base}.{alias.name}" if base else alias.name
+                    )
+
+    def _collect_module_bindings(self, tree: ast.Module) -> None:
+        """Fold module-level defs, classes and assignment aliases in."""
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                self.aliases[node.name] = f"{self.module}.{node.name}"
+            elif isinstance(node, ast.Assign):
+                origin = self.resolve(dotted_name(node.value))
+                if origin is None:
+                    continue
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.aliases[target.id] = origin
+
+    # -- resolution ----------------------------------------------------
+
+    def resolve(self, name: str | None) -> str | None:
+        """Canonical dotted origin of a local dotted name, if known."""
+        if name is None:
+            return None
+        head, _, rest = name.partition(".")
+        origin = self.aliases.get(head)
+        if origin is None:
+            return None
+        return f"{origin}.{rest}" if rest else origin

@@ -8,12 +8,14 @@ byte-identical output, so future CI can diff lint output across PRs.
 
 from __future__ import annotations
 
+import hashlib
 import json
 
 from repro.lint.findings import Finding, Severity
 
 #: Bumped whenever a field is added/renamed/removed.
-JSON_SCHEMA_VERSION = 1
+#: v2 added ``summary.rule_counts`` and ``summary.findings_sha256``.
+JSON_SCHEMA_VERSION = 2
 
 
 def sorted_findings(findings: list[Finding]) -> list[Finding]:
@@ -39,6 +41,25 @@ def render_text(
     return "\n".join(lines)
 
 
+def findings_digest(findings: list[Finding]) -> str:
+    """sha256 over the sorted baseline keys of the active findings.
+
+    Two lint runs reporting the same findings — regardless of line
+    shifts, since baseline keys exclude lines — share a digest, so CI
+    logs can diff lint state across commits by comparing one string.
+    """
+    keys = sorted(f.baseline_key for f in findings)
+    return hashlib.sha256("\n".join(keys).encode("utf-8")).hexdigest()
+
+
+def rule_counts(findings: list[Finding]) -> dict[str, int]:
+    """Active findings per rule id, sorted by rule id."""
+    counts: dict[str, int] = {}
+    for finding in sorted_findings(findings):
+        counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+    return dict(sorted(counts.items()))
+
+
 def render_json(
     findings: list[Finding],
     baselined: int = 0,
@@ -57,6 +78,8 @@ def render_json(
             ),
             "baselined": baselined,
             "stale_baseline_keys": sorted(stale or []),
+            "rule_counts": rule_counts(findings),
+            "findings_sha256": findings_digest(findings),
         },
     }
     return json.dumps(document, indent=2, sort_keys=True) + "\n"

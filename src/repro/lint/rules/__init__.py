@@ -7,6 +7,12 @@ docs all key off :data:`ALL_RULES`.
 
 from __future__ import annotations
 
+from repro.lint.flow.migrations import MigrationChainRule
+from repro.lint.flow.rules import (
+    CachePurityRule,
+    DeclaredAmbientRule,
+    WorkerBoundaryRule,
+)
 from repro.lint.rules.base import FileVisitorRule, Rule
 from repro.lint.rules.defaults import MutableDefaultRule
 from repro.lint.rules.determinism import UnseededRandomRule, WallClockRule
@@ -26,6 +32,10 @@ ALL_RULES: tuple[Rule, ...] = (
     DocCoverageRule(),
     CliDocSyncRule(),
     DunderAllRule(),
+    CachePurityRule(),
+    DeclaredAmbientRule(),
+    WorkerBoundaryRule(),
+    MigrationChainRule(),
 )
 
 __all__ = ["ALL_RULES", "Rule", "FileVisitorRule"]

@@ -13,7 +13,16 @@ import ast
 from typing import Iterable, Iterator, Protocol, runtime_checkable
 
 from repro.lint.findings import Finding, Severity
+from repro.lint.flow.names import dotted_name
 from repro.lint.project import Project, SourceFile
+
+__all__ = [
+    "FileVisitorRule",
+    "FindingCollector",
+    "ImportTable",
+    "Rule",
+    "dotted_name",
+]
 
 
 @runtime_checkable
@@ -77,18 +86,6 @@ class FileVisitorRule:
             collector = self.visitor(project, source)
             collector.visit(source.tree)
             yield from collector.findings
-
-
-def dotted_name(node: ast.AST) -> str | None:
-    """``a.b.c`` for a Name/Attribute chain, ``None`` for anything else."""
-    parts: list[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if not isinstance(node, ast.Name):
-        return None
-    parts.append(node.id)
-    return ".".join(reversed(parts))
 
 
 class ImportTable:

@@ -4,48 +4,47 @@ The paper's accuracy claims — and every run-manifest fingerprint — rest
 on bit-reproducible pipelines: clustering must flow all randomness
 through explicitly seeded generators, and simulation results must never
 depend on when they ran.  These rules make both invariants mechanical.
+
+Name resolution goes through the flow analyzer's
+:class:`~repro.lint.flow.names.ModuleNames` (not the simpler
+``ImportTable``), so aliasing evasions — ``from time import time as
+_t``, ``import numpy.random as nr``, relative imports, and module-level
+assignment aliases like ``_t = time.time`` — all resolve back to their
+canonical names before matching.  The banned-name sets themselves live
+in :mod:`repro.lint.flow.effects`, shared with the interprocedural
+rules (MEG010+) so the two layers can never disagree about what counts
+as a wall-clock read or an unseeded RNG draw.
 """
 
 from __future__ import annotations
 
 import ast
 
+from repro.lint.flow.effects import WALL_CLOCK, SEEDABLE_NUMPY
+from repro.lint.flow.names import ModuleNames, module_name
 from repro.lint.project import Project, SourceFile
 from repro.lint.rules.base import (
     FileVisitorRule,
     FindingCollector,
-    ImportTable,
     dotted_name,
 )
 
-#: numpy.random entry points that are fine *when given a seed argument*.
-_SEEDABLE_NUMPY = {"default_rng", "Generator", "RandomState", "SeedSequence"}
 
-#: Wall-clock reads, canonical dotted names after alias resolution.
-_WALL_CLOCK = frozenset({
-    "time.time",
-    "time.time_ns",
-    "time.perf_counter",
-    "time.perf_counter_ns",
-    "time.monotonic",
-    "time.monotonic_ns",
-    "time.process_time",
-    "time.process_time_ns",
-    "time.clock_gettime",
-    "datetime.datetime.now",
-    "datetime.datetime.utcnow",
-    "datetime.datetime.today",
-    "datetime.date.today",
-})
+class _ResolvingVisitor(FindingCollector):
+    """A finding collector with canonical (flow-grade) name resolution."""
 
-
-class _RandomVisitor(FindingCollector):
-    def __init__(self, rule, source: SourceFile) -> None:
+    def __init__(self, rule, project: Project, source: SourceFile) -> None:
         super().__init__(rule, source)
-        self.imports = ImportTable(source.tree)
+        self.names = ModuleNames(
+            source.tree,
+            module_name(source.relpath, project.config.package_root),
+            is_package=source.relpath.endswith("__init__.py"),
+        )
 
+
+class _RandomVisitor(_ResolvingVisitor):
     def visit_Call(self, node: ast.Call) -> None:
-        resolved = self.imports.resolve(dotted_name(node.func))
+        resolved = self.names.resolve(dotted_name(node.func))
         if resolved is not None:
             self._check_stdlib(node, resolved)
             self._check_numpy(node, resolved)
@@ -67,7 +66,7 @@ class _RandomVisitor(FindingCollector):
         if not resolved.startswith("numpy.random."):
             return
         attr = resolved.rsplit(".", 1)[1]
-        if attr in _SEEDABLE_NUMPY:
+        if attr in SEEDABLE_NUMPY:
             if node.args or node.keywords:
                 return
             self.report(
@@ -97,17 +96,13 @@ class UnseededRandomRule(FileVisitorRule):
         return source.in_subtree(project.config.determinism_paths)
 
     def visitor(self, project: Project, source: SourceFile) -> FindingCollector:
-        return _RandomVisitor(self, source)
+        return _RandomVisitor(self, project, source)
 
 
-class _WallClockVisitor(FindingCollector):
-    def __init__(self, rule, source: SourceFile) -> None:
-        super().__init__(rule, source)
-        self.imports = ImportTable(source.tree)
-
+class _WallClockVisitor(_ResolvingVisitor):
     def visit_Call(self, node: ast.Call) -> None:
-        resolved = self.imports.resolve(dotted_name(node.func))
-        if resolved in _WALL_CLOCK:
+        resolved = self.names.resolve(dotted_name(node.func))
+        if resolved in WALL_CLOCK:
             self.report(
                 node,
                 f"wall-clock read {resolved}() outside repro.obs; timing "
@@ -128,4 +123,4 @@ class WallClockRule(FileVisitorRule):
         return not source.in_subtree(project.config.wallclock_allowed)
 
     def visitor(self, project: Project, source: SourceFile) -> FindingCollector:
-        return _WallClockVisitor(self, source)
+        return _WallClockVisitor(self, project, source)

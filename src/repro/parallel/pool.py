@@ -40,7 +40,7 @@ from repro.parallel.config import ParallelConfig
 _WORKER_STATE: dict[str, Any] = {}
 
 
-def get_state(key: str) -> Any:
+def get_state(key: str) -> Any:  # megsim: ambient(global-read)
     """Fetch one entry of the worker's shared state.
 
     Raises:
@@ -56,7 +56,7 @@ def get_state(key: str) -> Any:
         ) from None
 
 
-def _install_state(state: dict[str, Any]) -> None:
+def _install_state(state: dict[str, Any]) -> None:  # megsim: ambient(global-write)
     """(Re)install the worker-shared state (pool initializer)."""
     _WORKER_STATE.clear()
     _WORKER_STATE.update(state)

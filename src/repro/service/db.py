@@ -120,6 +120,7 @@ REQUEST_STATUSES = ("pending", "running", "completed", "failed")
 JOB_STATUSES = ("pending", "running", "done", "failed")
 
 
+# megsim: ambient(env, filesystem)
 def resolve_db_path(value: str | os.PathLike | None = None) -> Path:
     """The results-database path: ``--db`` wins, else ``MEGSIM_DB``, else
     :data:`DEFAULT_DB_PATH`."""
@@ -139,7 +140,7 @@ class ResultsDB:
     call :meth:`close` explicitly.
     """
 
-    def __init__(
+    def __init__(  # megsim: ambient(filesystem)
         self,
         path: str | os.PathLike | None = None,
         target_version: int = SCHEMA_VERSION,

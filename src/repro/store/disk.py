@@ -59,6 +59,8 @@ class DiskTier:
             raise StoreError(f"invalid fingerprint {fp!r}")
         return self._tree / kind / fp[:2] / f"{fp}.json"
 
+    # The pid only names the temp file; the stored payload itself is
+    # pid-independent.  # megsim: ambient(process)
     def write(self, kind: str, fp: str, payload: dict) -> int:
         """Persist ``payload``; returns the number of bytes written."""
         target = self.path(kind, fp)

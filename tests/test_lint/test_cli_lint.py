@@ -33,3 +33,13 @@ class TestMegsimLint:
     def test_list_rules_through_cli(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         assert "MEG001" in capsys.readouterr().out
+
+    def test_effects_passthrough(self, capsys):
+        assert main([
+            "lint", "--root", str(REPO_ROOT),
+            "--effects", "repro.pipeline.stages:_compute_trace",
+        ]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["function"] == (
+            "repro.pipeline.stages:_compute_trace"
+        )

@@ -83,6 +83,36 @@ class TestUnseededRandom:
         )
         assert result.findings == []
 
+    def test_submodule_import_alias_flagged(self, lint_fixture):
+        # `import numpy.random as nr` used to evade the per-file import
+        # table; the flow-grade resolver canonicalizes it.
+        result = lint_fixture(
+            {"src/repro/core/x.py": """\
+                import numpy.random as nr
+
+                def noise(n):
+                    return nr.rand(n)
+            """},
+            select=("MEG001",),
+        )
+        assert rule_ids(result) == ["MEG001"]
+        assert "numpy.random.rand" in messages(result)
+
+    def test_assignment_alias_flagged(self, lint_fixture):
+        result = lint_fixture(
+            {"src/repro/core/x.py": """\
+                import random
+
+                _draw = random.random
+
+                def jitter():
+                    return _draw()
+            """},
+            select=("MEG001",),
+        )
+        assert rule_ids(result) == ["MEG001"]
+        assert "random.random" in messages(result)
+
     def test_outside_determinism_paths_pass(self, lint_fixture):
         # repro.analysis is not a determinism path: studies may use
         # whatever randomness they like (they seed for other reasons).
@@ -135,6 +165,47 @@ class TestWallClock:
             select=("MEG002",),
         )
         assert rule_ids(result) == ["MEG002"]
+
+    def test_from_import_rename_flagged(self, lint_fixture):
+        # `from time import time as _t` — the aliased-import evasion.
+        result = lint_fixture(
+            {"src/repro/core/x.py": """\
+                from time import time as _t
+
+                def stamp():
+                    return _t()
+            """},
+            select=("MEG002",),
+        )
+        assert rule_ids(result) == ["MEG002"]
+        assert "time.time" in messages(result)
+
+    def test_assignment_alias_flagged(self, lint_fixture):
+        result = lint_fixture(
+            {"src/repro/core/x.py": """\
+                import time
+
+                _clock = time.time
+
+                def stamp():
+                    return _clock()
+            """},
+            select=("MEG002",),
+        )
+        assert rule_ids(result) == ["MEG002"]
+        assert "time.time" in messages(result)
+
+    def test_harmless_rename_passes(self, lint_fixture):
+        result = lint_fixture(
+            {"src/repro/core/x.py": """\
+                from time import sleep as pause
+
+                def wait():
+                    pause(0)
+            """},
+            select=("MEG002",),
+        )
+        assert result.findings == []
 
     def test_obs_subtree_is_exempt(self, lint_fixture):
         result = lint_fixture(

@@ -4,6 +4,8 @@ plus the acceptance criterion that the repository at HEAD lints clean.
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.errors import ConfigError
@@ -11,7 +13,9 @@ from repro.lint import ALL_RULES, Rule, load_config, run_lint, select_rules
 from repro.lint.engine import PARSE_RULE_ID, main
 from tests.test_lint.conftest import REPO_ROOT, rule_ids, write_tree
 
-EXPECTED_RULE_IDS = [f"MEG00{n}" for n in range(1, 10)]
+EXPECTED_RULE_IDS = [f"MEG00{n}" for n in range(1, 10)] + [
+    f"MEG01{n}" for n in range(4)
+]
 
 
 class TestRepositoryIsClean:
@@ -135,3 +139,35 @@ class TestCommandLine:
 
     def test_repo_via_module_main(self, capsys):
         assert main(["--root", str(REPO_ROOT)]) == 0
+
+    def test_stale_baseline_key_fails_even_without_strict(
+        self, tmp_path, capsys
+    ):
+        # A suppression matching nothing must fail the gate outright —
+        # the baseline only ever shrinks.
+        write_tree(tmp_path, {
+            "src/repro/core/x.py": "value = 1\n",
+            "lint-baseline.txt": "MEG006:src/repro/core/gone.py:old finding\n",
+        })
+        code = main(["--root", str(tmp_path), "--select", "MEG006"])
+        assert code == 1
+        assert "stale baseline entry" in capsys.readouterr().out
+
+
+class TestEffectsFlag:
+    def test_dumps_deterministic_summary_json(self, capsys):
+        spec = "repro.pipeline.stages:_compute_plan"
+        assert main(["--root", str(REPO_ROOT), "--effects", spec]) == 0
+        first = capsys.readouterr().out
+        document = json.loads(first)
+        assert document["function"] == "repro.pipeline.stages:_compute_plan"
+        assert document["ambient"] == []
+        assert main(["--root", str(REPO_ROOT), "--effects", spec]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_unknown_spec_exits_two(self, capsys):
+        code = main(
+            ["--root", str(REPO_ROOT), "--effects", "repro.nope:missing"]
+        )
+        assert code == 2
+        assert "no function matches" in capsys.readouterr().err

@@ -1,0 +1,339 @@
+"""Unit tests for ``repro.lint.flow``: names, call graph, propagation."""
+
+from __future__ import annotations
+
+import ast
+import json
+import textwrap
+
+from repro.lint import LintConfig
+from repro.lint.flow import FlowAnalysis, module_name
+from repro.lint.flow.names import ModuleNames, dotted_name
+from repro.lint.project import load_project
+from tests.test_lint.conftest import write_tree
+
+
+def build_flow(tmp_path, files, **overrides) -> FlowAnalysis:
+    write_tree(tmp_path, files)
+    config = LintConfig(root=tmp_path, **overrides)
+    return FlowAnalysis(load_project(config))
+
+
+def names_for(source: str, module: str, is_package: bool = False) -> ModuleNames:
+    return ModuleNames(
+        ast.parse(textwrap.dedent(source)), module, is_package
+    )
+
+
+class TestDottedName:
+    def test_attribute_chain(self):
+        node = ast.parse("a.b.c", mode="eval").body
+        assert dotted_name(node) == "a.b.c"
+
+    def test_non_name_root_is_none(self):
+        node = ast.parse("f().attr", mode="eval").body
+        assert dotted_name(node) is None
+
+
+class TestModuleName:
+    def test_package_root_mapping(self):
+        assert module_name("src/repro/gpu/x.py", "src/repro") == "repro.gpu.x"
+
+    def test_init_names_the_package(self):
+        assert module_name("src/repro/core/__init__.py", "src/repro") == (
+            "repro.core"
+        )
+
+
+class TestModuleNames:
+    def test_import_alias(self):
+        names = names_for("import numpy.random as nr\n", "repro.core.x")
+        assert names.resolve("nr.rand") == "numpy.random.rand"
+
+    def test_from_import_alias(self):
+        names = names_for("from time import time as _t\n", "repro.core.x")
+        assert names.resolve("_t") == "time.time"
+
+    def test_relative_import(self):
+        names = names_for(
+            "from .base import helper\n", "repro.lint.rules.determinism"
+        )
+        assert names.resolve("helper") == "repro.lint.rules.base.helper"
+
+    def test_relative_import_from_package_init(self):
+        names = names_for(
+            "from .impl import helper\n", "repro.core", is_package=True
+        )
+        assert names.resolve("helper") == "repro.core.impl.helper"
+
+    def test_module_level_assignment_alias(self):
+        names = names_for(
+            """\
+            import time
+
+            _clock = time.time
+            """,
+            "repro.core.x",
+        )
+        assert names.resolve("_clock") == "time.time"
+
+    def test_local_def_binds_to_module(self):
+        names = names_for("def f():\n    pass\n", "repro.core.x")
+        assert names.resolve("f") == "repro.core.x.f"
+
+
+class TestCallGraph:
+    def test_intra_module_edge(self, tmp_path):
+        flow = build_flow(tmp_path, {
+            "src/repro/core/m.py": """\
+                def leaf():
+                    return 1
+
+                def root():
+                    return leaf()
+            """,
+        })
+        assert "repro.core.m.leaf" in (
+            flow.graph.functions["repro.core.m.root"].callees
+        )
+
+    def test_reexport_is_canonicalized(self, tmp_path):
+        flow = build_flow(tmp_path, {
+            "src/repro/core/__init__.py": (
+                "from repro.core.impl import helper\n"
+            ),
+            "src/repro/core/impl.py": """\
+                def helper():
+                    return 1
+            """,
+            "src/repro/core/use.py": """\
+                from repro.core import helper
+
+                def run():
+                    return helper()
+            """,
+        })
+        assert "repro.core.impl.helper" in (
+            flow.graph.functions["repro.core.use.run"].callees
+        )
+
+    def test_mutable_global_detection(self, tmp_path):
+        flow = build_flow(tmp_path, {
+            "src/repro/core/m.py": """\
+                _CACHE = {}
+                LIMIT = 3
+
+                def put(key):
+                    _CACHE[key] = True
+
+                def read():
+                    return LIMIT
+            """,
+        })
+        module = flow.graph.modules["repro.core.m"]
+        assert module.mutable_globals == {"_CACHE"}
+        # `_CACHE[key] = ...` both loads the binding and mutates it;
+        # reading the never-rebound constant is just a value.
+        kinds = {
+            e.kind for e in flow.graph.functions["repro.core.m.put"].effects
+        }
+        assert kinds == {"global-read", "global-write"}
+        assert flow.graph.functions["repro.core.m.read"].effects == set()
+
+    def test_pragma_attaches_on_def_line_and_line_above(self, tmp_path):
+        flow = build_flow(tmp_path, {
+            "src/repro/core/m.py": """\
+                import os
+
+                def on_line():  # megsim: ambient(env)
+                    return os.getenv("A")
+
+                # megsim: ambient(env)
+                def above():
+                    return os.getenv("B")
+            """,
+        })
+        assert flow.graph.functions["repro.core.m.on_line"].pragma_kinds == (
+            "env",
+        )
+        assert flow.graph.functions["repro.core.m.above"].pragma_kinds == (
+            "env",
+        )
+
+    def test_pragma_text_in_docstring_is_ignored(self, tmp_path):
+        flow = build_flow(tmp_path, {
+            "src/repro/core/m.py": '''\
+                def documented():
+                    """Mentions # megsim: ambient(env) without meaning it."""
+                    return 1
+            ''',
+        })
+        assert flow.graph.modules["repro.core.m"].pragmas == []
+
+    def test_common_method_names_do_not_fan_out(self, tmp_path):
+        flow = build_flow(tmp_path, {
+            "src/repro/core/m.py": """\
+                class Store:
+                    def get(self, key):
+                        import os
+                        return os.getpid()
+
+                def lookup(mapping):
+                    return mapping.get("x")
+            """,
+        })
+        # mapping.get() is assumed to be dict.get, not Store.get — the
+        # process effect must not leak into lookup's cone.
+        assert flow.ambient["repro.core.m.lookup"] == frozenset()
+
+    def test_self_attribute_type_resolves_method(self, tmp_path):
+        flow = build_flow(tmp_path, {
+            "src/repro/core/m.py": """\
+                class Tier:
+                    def persist(self, key):
+                        import os
+                        return os.getpid()
+
+                class Front:
+                    def __init__(self, enabled):
+                        self.tier = Tier() if enabled else None
+
+                    def save(self, key):
+                        return self.tier.persist(key)
+            """,
+        })
+        assert "repro.core.m.Tier.persist" in (
+            flow.graph.functions["repro.core.m.Front.save"].callees
+        )
+
+
+class TestPropagation:
+    FILES = {
+        "src/repro/core/chain.py": """\
+            import os
+
+            def leaf():
+                return os.getenv("MEGSIM_X")
+
+            def middle():
+                return leaf()
+
+            def root():
+                return middle()
+        """,
+    }
+
+    def test_effect_propagates_to_fixed_point(self, tmp_path):
+        flow = build_flow(tmp_path, self.FILES)
+        item = ("env", "os.getenv", "repro.core.chain.leaf")
+        for fn in ("leaf", "middle", "root"):
+            assert flow.ambient[f"repro.core.chain.{fn}"] == {item}
+
+    def test_witness_chain_names_every_hop(self, tmp_path):
+        flow = build_flow(tmp_path, self.FILES)
+        item = ("env", "os.getenv", "repro.core.chain.leaf")
+        chain = flow.witness("repro.core.chain.root", item)
+        assert chain == [
+            "repro.core.chain.root",
+            "repro.core.chain.middle",
+            "repro.core.chain.leaf",
+        ]
+        assert flow.render_chain(chain) == (
+            "repro.core.chain:root -> repro.core.chain:middle "
+            "-> repro.core.chain:leaf"
+        )
+
+    def test_declaration_absorbs_but_raw_keeps(self, tmp_path):
+        flow = build_flow(tmp_path, {
+            "src/repro/core/m.py": """\
+                import os
+
+                def leaf():  # megsim: ambient(env)
+                    return os.getenv("MEGSIM_X")
+
+                def root():
+                    return leaf()
+            """,
+        })
+        root = "repro.core.m.root"
+        assert flow.ambient[root] == frozenset()
+        assert {kind for kind, _, _ in flow.raw[root]} == {"env"}
+        digest = flow.digest(root)
+        assert digest["ambient"] == []
+        assert digest["absorbed"] == ["env:os.getenv"]
+
+    def test_call_cycle_converges(self, tmp_path):
+        flow = build_flow(tmp_path, {
+            "src/repro/core/m.py": """\
+                import os
+
+                def ping(n):
+                    return pong(n - 1) if n else os.getenv("X")
+
+                def pong(n):
+                    return ping(n)
+            """,
+        })
+        for fn in ("ping", "pong"):
+            assert {k for k, _, _ in flow.ambient[f"repro.core.m.{fn}"]} == {
+                "env"
+            }
+
+    def test_blanket_paths_absorb(self, tmp_path):
+        flow = build_flow(tmp_path, {
+            "src/repro/obs/clock.py": """\
+                import time
+
+                def stamp():
+                    return time.time()
+            """,
+            "src/repro/core/use.py": """\
+                from repro.obs.clock import stamp
+
+                def run():
+                    return stamp()
+            """,
+        })
+        # obs is ambient-paths: the wall-clock read is declared wholesale.
+        assert flow.ambient["repro.core.use.run"] == frozenset()
+        assert flow.digest("repro.core.use.run")["absorbed"] == [
+            "wall-clock:time.time"
+        ]
+
+    def test_summary_is_json_stable(self, tmp_path):
+        first = build_flow(tmp_path, self.FILES)
+        second = FlowAnalysis(first.project)
+        root = "repro.core.chain.root"
+        assert json.dumps(first.summary(root)) == json.dumps(
+            second.summary(root)
+        )
+        summary = first.summary(root)
+        assert summary["ambient"][0]["via"].startswith(
+            "repro.core.chain:root -> "
+        )
+
+    def test_resolve_spec_accepts_colon_and_reexports(self, tmp_path):
+        flow = build_flow(tmp_path, {
+            "src/repro/core/__init__.py": (
+                "from repro.core.impl import helper\n"
+            ),
+            "src/repro/core/impl.py": """\
+                def helper():
+                    return 1
+            """,
+        })
+        assert flow.resolve_spec("repro.core.impl:helper") == (
+            "repro.core.impl.helper"
+        )
+        assert flow.resolve_spec("repro.core:helper") == (
+            "repro.core.impl.helper"
+        )
+        assert flow.resolve_spec("repro.core:nope") is None
+
+    def test_cone_lists_reachable_functions(self, tmp_path):
+        flow = build_flow(tmp_path, self.FILES)
+        assert flow.cone("repro.core.chain.root") == [
+            "repro.core.chain.leaf",
+            "repro.core.chain.middle",
+            "repro.core.chain.root",
+        ]

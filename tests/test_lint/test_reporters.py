@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 import json
 
 from repro.lint import (
@@ -37,11 +38,18 @@ class TestJsonStability:
             "severity": "error",
             "message": "first",
         }
+        expected_digest = hashlib.sha256(
+            "\n".join(
+                sorted(f.baseline_key for f in SAMPLE)
+            ).encode("utf-8")
+        ).hexdigest()
         assert document["summary"] == {
             "errors": 2,
             "warnings": 1,
             "baselined": 0,
             "stale_baseline_keys": [],
+            "rule_counts": {"MEG001": 1, "MEG002": 1, "MEG006": 1},
+            "findings_sha256": expected_digest,
         }
 
     def test_output_is_deterministic_across_input_order(self):
