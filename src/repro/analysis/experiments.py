@@ -483,6 +483,64 @@ def speedup(scale: float = 1.0) -> ExperimentResult:
     return ExperimentResult("speedup", data, report)
 
 
+# ----------------------------------------------------------------------
+# Backend parity: the vector cycle-sim backend vs the scalar oracle.
+# ----------------------------------------------------------------------
+
+def backend_compare(scale: float = 1.0, max_frames: int = 16) -> ExperimentResult:
+    """Vector-vs-scalar backend check over every benchmark.
+
+    Runs both cycle-simulation backends on a deterministic frame sample
+    of each benchmark trace and verifies bit-identical
+    :class:`~repro.gpu.stats.FrameStats`, recording the measured
+    wall-clock speedup alongside (timing only — never gated across
+    machines).
+
+    Raises:
+        AnalysisError: listing every mismatching field when any
+            benchmark breaks parity — a broken vector backend must fail
+            loudly, not average out.
+    """
+    from repro.gpu.parity import check_backend_parity
+    from repro.workloads.benchmarks import make_benchmark
+
+    rows = []
+    data = {}
+    failures: list[str] = []
+    for alias in benchmark_aliases():
+        trace = make_benchmark(alias, scale=scale)
+        report = check_backend_parity(trace, max_frames=max_frames)
+        data[alias] = {
+            "identical": report.identical,
+            "frames_checked": len(report.frame_ids),
+            "mismatches": list(report.mismatches),
+            "speedup": report.speedup,
+        }
+        failures.extend(
+            f"{alias}: {mismatch}" for mismatch in report.mismatches
+        )
+        rows.append([
+            alias,
+            str(len(report.frame_ids)),
+            "yes" if report.identical else "NO",
+            f"{report.speedup:.2f}x",
+        ])
+    if failures:
+        raise AnalysisError(
+            "backend parity broken: " + "; ".join(failures[:10])
+        )
+    report_text = render_table(
+        ["bench", "frames", "bit-identical", "vector speedup"],
+        rows,
+        title=(
+            f"Backend parity (scale={scale}): vector vs scalar "
+            f"cycle simulation, {max_frames}-frame deterministic sample"
+        ),
+    )
+    data["all_identical"] = True
+    return ExperimentResult("backend_compare", data, report_text)
+
+
 #: Experiment registry: name -> callable.
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "table1": table1_config,
@@ -495,6 +553,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig7": fig7_accuracy,
     "table4": table4_random,
     "speedup": speedup,
+    "backend_compare": backend_compare,
 }
 
 

@@ -197,6 +197,24 @@ def _extract_speedup(result: ExperimentResult) -> BenchOutcome:
     )
 
 
+def _extract_backend_compare(result: ExperimentResult) -> BenchOutcome:
+    rows = _per_alias(result.data)
+    return BenchOutcome(
+        metrics={"frames_checked": [float(row["frames_checked"])
+                                    for row in rows.values()]},
+        # 1.0 when every benchmark's FrameStats matched bit for bit; the
+        # experiment raises before getting here otherwise, so any value
+        # below 1.0 in an artifact marks a partially-written run.
+        accuracy={"parity.identical": float(
+            all(row["identical"] for row in rows.values())
+        )},
+        timing_info={
+            "vector_speedup": {alias: row["speedup"]
+                               for alias, row in rows.items()},
+        },
+    )
+
+
 #: The shipped registry, in run order.
 BENCHES: dict[str, BenchSpec] = {
     spec.name: spec
@@ -248,6 +266,12 @@ BENCHES: dict[str, BenchSpec] = {
             name="speedup", experiment="speedup", suites=("smoke", "full"),
             description="Headline wall-clock speedup: full vs MEGsim",
             extract=_extract_speedup,
+        ),
+        BenchSpec(
+            name="parity", experiment="backend_compare",
+            suites=("smoke", "full"),
+            description="Vector vs scalar cycle-sim backend, bit for bit",
+            extract=_extract_backend_compare,
         ),
     )
 }

@@ -173,3 +173,86 @@ def kmeans(
     return KMeansResult(
         centroids=centroids, labels=labels, wcss=wcss, iterations=iteration
     )
+
+
+def minibatch_kmeans(
+    points: np.ndarray,
+    k: int,
+    seed: int = 0,
+    batch_size: int = 1024,
+    max_iterations: int = 100,
+    initial_centroids: np.ndarray | None = None,
+) -> KMeansResult:
+    """Minibatch Lloyd's algorithm (Sculley, 2010) for large N.
+
+    Each iteration draws ``batch_size`` points with replacement, assigns
+    them to the nearest centroid and moves each touched centroid toward
+    its batch mean with a per-centroid learning rate ``1 / count`` —
+    amortising the O(N k) assignment cost the full algorithm pays every
+    iteration.  The final labels and WCSS are computed over the full
+    dataset so the result plugs into the same BIC scoring as
+    :func:`kmeans`.
+
+    Args:
+        points: N x D data matrix.
+        k: number of clusters, 1 <= k <= N.
+        seed: RNG seed for seeding and batch sampling.
+        batch_size: points sampled per iteration (clamped to N).
+        max_iterations: minibatch update cap.
+        initial_centroids: optional k x D warm-start centroids
+            (overrides the k-means++ seeding).
+
+    Raises:
+        ClusteringError: on bad shapes or k out of range.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ClusteringError(f"points must be 2-D, got shape {points.shape}")
+    n = points.shape[0]
+    if n == 0:
+        raise ClusteringError("cannot cluster an empty dataset")
+    if not 1 <= k <= n:
+        raise ClusteringError(f"k must be in [1, {n}], got {k}")
+    if batch_size < 1:
+        raise ClusteringError(f"batch_size must be >= 1, got {batch_size}")
+    if max_iterations < 1:
+        raise ClusteringError(f"max_iterations must be >= 1, got {max_iterations}")
+
+    rng = np.random.default_rng(seed)
+    if initial_centroids is not None:
+        initial_centroids = np.asarray(initial_centroids, dtype=np.float64)
+        if initial_centroids.shape != (k, points.shape[1]):
+            raise ClusteringError(
+                f"initial_centroids shape {initial_centroids.shape} does not "
+                f"match (k={k}, D={points.shape[1]})"
+            )
+        centroids = initial_centroids.copy()
+    else:
+        # Seed from a bounded sample: k-means++ is O(n k) and would
+        # otherwise dominate at the scales this path targets.
+        sample_size = min(n, max(10 * batch_size, 10 * k))
+        sample = points[rng.choice(n, size=sample_size, replace=False)]
+        centroids = _kmeans_plus_plus(sample, k, rng)
+
+    batch = min(batch_size, n)
+    counts = np.zeros(k, dtype=np.float64)
+    for iteration in range(1, max_iterations + 1):
+        chosen = points[rng.integers(n, size=batch)]
+        labels = _squared_distances(chosen, centroids).argmin(axis=1)
+        batch_counts = np.bincount(labels, minlength=k).astype(np.float64)
+        sums = np.zeros_like(centroids)
+        np.add.at(sums, labels, chosen)
+        counts += batch_counts
+        touched = batch_counts > 0
+        # Gradient step toward the batch mean, weighted by how much of the
+        # centroid's lifetime mass this batch contributes.
+        centroids[touched] += (
+            sums[touched] - batch_counts[touched, np.newaxis] * centroids[touched]
+        ) / counts[touched, np.newaxis]
+
+    final_distances = _squared_distances(points, centroids)
+    labels = final_distances.argmin(axis=1)
+    wcss = float(final_distances[np.arange(n), labels].sum())
+    return KMeansResult(
+        centroids=centroids, labels=labels, wcss=wcss, iterations=iteration
+    )

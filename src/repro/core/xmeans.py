@@ -37,6 +37,47 @@ def _local_split_improves(
     return False, None
 
 
+def split_seed_centroids(
+    points: np.ndarray, result: KMeansResult, seed: int
+) -> np.ndarray | None:
+    """Grow ``result``'s centroids from k to k+1 by splitting one cluster.
+
+    The warm-start step of the BIC sweep
+    (:func:`repro.core.cluster_search.search_clustering`): instead of
+    re-seeding k+1 centroids from scratch, keep the k-cluster solution
+    and split the cluster with the largest within-cluster sum of squares
+    — the one whose points a new centroid would help most.  The split is
+    x-means' improve-structure move: a local 2-means over the cluster's
+    members, accepted only when the two-cluster model of those members
+    scores a higher *local* BIC than the one-cluster model
+    (:func:`_local_split_improves`).  Clusters are tried in decreasing
+    WCSS order.
+
+    Returns the (k+1) x D seed centroids of the best accepted split, or
+    ``None`` when no cluster's split improves its local BIC — the
+    saturation signal the sweep uses to stop growing k.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    deltas = points - result.centroids[result.labels]
+    contributions = np.einsum("ij,ij->i", deltas, deltas)
+    per_cluster = np.bincount(
+        result.labels, weights=contributions, minlength=result.k
+    )
+    for target in np.argsort(per_cluster)[::-1]:
+        if per_cluster[target] <= 0.0:
+            # Remaining clusters are all zero-WCSS (single or coincident
+            # points) — nothing left to split.
+            return None
+        members = points[result.labels == target]
+        improves, children = _local_split_improves(members, seed)
+        if not improves:
+            continue
+        return np.vstack(
+            [np.delete(result.centroids, target, axis=0), children]
+        )
+    return None
+
+
 def xmeans(
     points: np.ndarray,
     k_max: int | None = None,

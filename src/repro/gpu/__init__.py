@@ -14,21 +14,37 @@ paper).  It contains:
   DRAM / L2 / tile-cache accesses, per-phase energy).
 """
 
-from repro.gpu.config import GPUConfig, CacheConfig, DRAMConfig, QueueConfig, default_config
+from repro.gpu.config import (
+    GPUConfig,
+    CacheConfig,
+    CycleConfig,
+    DRAMConfig,
+    QueueConfig,
+    cycle_scope,
+    default_config,
+    default_cycle_config,
+)
 from repro.gpu.cycle_sim import CycleAccurateSimulator, SequenceResult
 from repro.gpu.functional_sim import FrameProfile, FunctionalSimulator, SequenceProfile
+from repro.gpu.parity import ParityReport, check_backend_parity, sample_frame_ids
 from repro.gpu.stats import FrameStats
 
 __all__ = [
     "GPUConfig",
     "CacheConfig",
+    "CycleConfig",
     "DRAMConfig",
     "QueueConfig",
+    "cycle_scope",
     "default_config",
+    "default_cycle_config",
     "CycleAccurateSimulator",
     "SequenceResult",
     "FunctionalSimulator",
     "FrameProfile",
     "SequenceProfile",
     "FrameStats",
+    "ParityReport",
+    "check_backend_parity",
+    "sample_frame_ids",
 ]

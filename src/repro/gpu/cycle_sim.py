@@ -23,7 +23,12 @@ from dataclasses import dataclass, field
 from repro.errors import SimulationError
 from repro.obs import counter, gauge, get_collector, observe, span
 from repro.gpu.cache import CacheStats
-from repro.gpu.config import GPUConfig, default_config
+from repro.gpu.config import (
+    FRAME_OVERHEAD_CYCLES,
+    CycleConfig,
+    GPUConfig,
+    default_config,
+)
 from repro.gpu.dram import DRAMStats
 from repro.gpu.geometry import simulate_geometry
 from repro.gpu.hierarchy import MemorySystem
@@ -34,10 +39,6 @@ from repro.gpu.tiling import simulate_tiling
 from repro.gpu.workmodel import compute_frame_work
 from repro.scene.frame import Frame
 from repro.scene.trace import WorkloadTrace
-
-#: Fixed per-frame overhead (command processing, state changes, scheduling).
-FRAME_OVERHEAD_CYCLES = 2000.0
-
 
 @dataclass(frozen=True)
 class SequenceResult:
@@ -131,6 +132,7 @@ class CycleAccurateSimulator:
         config: GPUConfig | None = None,
         energy_params: EnergyParams | None = None,
         cache_model: str = "region",
+        cycle: CycleConfig | None = None,
     ) -> None:
         """Create a simulator.
 
@@ -139,10 +141,19 @@ class CycleAccurateSimulator:
             energy_params: per-event energies; ``None`` uses the defaults.
             cache_model: ``"region"`` (fast, default) or ``"line"``
                 (exact set-associative simulation, for validation runs).
+            cycle: execution strategy; ``None`` runs the scalar reference
+                backend.  The vector backend only models the region cache,
+                so it composes with ``cache_model="region"`` only.
         """
         self.config = config if config is not None else default_config()
         self.power_model = PowerModel(energy_params)
         self.cache_model = cache_model
+        self.cycle = cycle if cycle is not None else CycleConfig()
+        if self.cycle.backend == "vector" and cache_model != "region":
+            raise SimulationError(
+                "the vector backend models the region cache only; use "
+                'cache_model="region" or the scalar backend'
+            )
 
     def simulate(
         self,
@@ -177,32 +188,54 @@ class CycleAccurateSimulator:
             selected = list(range(trace.frame_count))
             warmup_frames = 0
         else:
-            selected = sorted(frame_ids)
+            # Dedup before sorting: a repeated id would otherwise simulate
+            # the same frame twice and double-count it in the totals.
+            selected = sorted(set(frame_ids))
+            if not selected:
+                raise SimulationError(
+                    f"empty frame selection for trace {trace.name!r}: "
+                    "pass frame_ids=None to simulate the full sequence"
+                )
             for fid in selected:
                 if not 0 <= fid < trace.frame_count:
                     raise SimulationError(
                         f"frame id {fid} outside trace of {trace.frame_count} frames"
                     )
+        # The warmup schedule is backend-independent: (frame id, keep)
+        # pairs in execution order, warmup frames interleaved before the
+        # selected frame they warm (never re-running an already-simulated
+        # frame).
+        schedule: list[tuple[int, bool]] = []
+        previous = -1
+        for fid in selected:
+            first_warm = max(fid - warmup_frames, previous + 1, 0)
+            for warm_id in range(first_warm, fid):
+                schedule.append((warm_id, False))
+            schedule.append((fid, True))
+            previous = fid
         textures = {t.texture_id: t for t in trace.textures}
-        mem = MemorySystem(self.config, cache_model=self.cache_model)
+        warmed = len(schedule) - len(selected)
         with span(
             "cycle.simulate",
             trace=trace.name,
             frames=len(selected),
             warmup_frames=warmup_frames,
         ) as timing:
-            stats = []
-            warmed = 0
-            previous = -1
-            for fid in selected:
-                first_warm = max(fid - warmup_frames, previous + 1, 0)
-                for warm_id in range(first_warm, fid):
-                    self._simulate_frame(trace.frames[warm_id], textures, mem)
-                    warmed += 1
-                stats.append(
-                    self._simulate_frame(trace.frames[fid], textures, mem)
+            if self.cycle.backend == "vector":
+                from repro.gpu.vector import simulate_schedule
+
+                stats = simulate_schedule(
+                    trace, schedule, self.config, self.power_model, textures
                 )
-                previous = fid
+            else:
+                mem = MemorySystem(self.config, cache_model=self.cache_model)
+                stats = []
+                for fid, keep in schedule:
+                    frame_stats = self._simulate_frame(
+                        trace.frames[fid], textures, mem
+                    )
+                    if keep:
+                        stats.append(frame_stats)
             counter("cycle.frames_simulated", len(selected))
             if warmed:
                 counter("cycle.warmup_frames", warmed)

@@ -1,0 +1,146 @@
+"""Backend parity harness: vector vs. scalar, bit for bit.
+
+The vector backend (:mod:`repro.gpu.vector`) is only admissible because it
+is *exactly* the scalar model executed differently — every
+:class:`~repro.gpu.stats.FrameStats` field, including floats whose value
+depends on addition order, must match bit for bit.  This module checks
+that claim directly: run both backends over a deterministic sample of a
+trace's frames and compare every per-frame statistic.
+
+Sampling is a fixed stride over the frame range (no RNG — the harness
+must itself be reproducible), so the same trace always checks the same
+subset.  ``scripts/ci_check.sh`` runs this over smoke-suite workloads on
+every merge; ``megsim bench`` exposes it as the ``backend_compare``
+experiment together with the measured speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.errors import SimulationError
+from repro.gpu.config import CycleConfig, GPUConfig
+from repro.gpu.cycle_sim import CycleAccurateSimulator, SequenceResult
+from repro.scene.trace import WorkloadTrace
+
+#: Default ceiling on sampled frames per parity run.
+DEFAULT_SAMPLE_FRAMES = 16
+
+
+@dataclass(frozen=True, slots=True)
+class ParityReport:
+    """Outcome of one vector-vs-scalar comparison."""
+
+    trace_name: str
+    frame_ids: tuple[int, ...]
+    identical: bool
+    mismatches: tuple[str, ...]
+    scalar_seconds: float
+    vector_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """Scalar wall time over vector wall time (>1 = vector faster)."""
+        if self.vector_seconds <= 0.0:
+            return float("inf")
+        return self.scalar_seconds / self.vector_seconds
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation."""
+        return {
+            "trace_name": self.trace_name,
+            "frame_ids": list(self.frame_ids),
+            "identical": self.identical,
+            "mismatches": list(self.mismatches),
+            "scalar_seconds": self.scalar_seconds,
+            "vector_seconds": self.vector_seconds,
+        }
+
+
+def sample_frame_ids(
+    frame_count: int, max_frames: int = DEFAULT_SAMPLE_FRAMES
+) -> list[int]:
+    """Deterministically sample up to ``max_frames`` ids from a trace.
+
+    A fixed stride starting at frame 0 and always including the last
+    frame: early frames exercise cold caches, late frames warmed state.
+    """
+    if frame_count < 1:
+        raise SimulationError("cannot sample an empty trace")
+    if max_frames < 1:
+        raise SimulationError(f"max_frames must be >= 1, got {max_frames}")
+    if frame_count <= max_frames:
+        return list(range(frame_count))
+    stride = frame_count // max_frames
+    sampled = list(range(0, frame_count, stride))[:max_frames]
+    sampled[-1] = frame_count - 1
+    return sampled
+
+
+def compare_results(
+    scalar: SequenceResult, vector: SequenceResult
+) -> tuple[str, ...]:
+    """Field-level differences between two runs (empty = bit-identical).
+
+    ``elapsed_seconds`` is excluded: wall time is the one field the
+    backends are *supposed* to disagree on.
+    """
+    mismatches: list[str] = []
+    if scalar.frame_ids != vector.frame_ids:
+        return (
+            f"frame_ids differ: {scalar.frame_ids} vs {vector.frame_ids}",
+        )
+    stat_fields = [f.name for f in fields(type(scalar.frame_stats[0]))] if (
+        scalar.frame_stats
+    ) else []
+    for frame_id, left, right in zip(
+        scalar.frame_ids, scalar.frame_stats, vector.frame_stats
+    ):
+        if left == right:
+            continue
+        for name in stat_fields:
+            a, b = getattr(left, name), getattr(right, name)
+            if a != b:
+                mismatches.append(
+                    f"frame {frame_id}: {name} {a!r} != {b!r}"
+                )
+    return tuple(mismatches)
+
+
+def check_backend_parity(
+    trace: WorkloadTrace,
+    config: GPUConfig | None = None,
+    frame_ids: list[int] | None = None,
+    max_frames: int = DEFAULT_SAMPLE_FRAMES,
+    warmup_frames: int = 0,
+) -> ParityReport:
+    """Run both backends over a frame sample and compare bit for bit.
+
+    Args:
+        trace: the workload to check.
+        config: GPU configuration (``None`` = Table I baseline).
+        frame_ids: explicit frame subset; ``None`` uses
+            :func:`sample_frame_ids`.
+        max_frames: sample ceiling when ``frame_ids`` is ``None``.
+        warmup_frames: warmup depth passed to both backends.
+
+    Returns:
+        A report whose ``identical`` flag is the parity verdict.
+    """
+    if frame_ids is None:
+        frame_ids = sample_frame_ids(trace.frame_count, max_frames)
+    scalar = CycleAccurateSimulator(
+        config, cycle=CycleConfig(backend="scalar")
+    ).simulate(trace, frame_ids=frame_ids, warmup_frames=warmup_frames)
+    vector = CycleAccurateSimulator(
+        config, cycle=CycleConfig(backend="vector")
+    ).simulate(trace, frame_ids=frame_ids, warmup_frames=warmup_frames)
+    mismatches = compare_results(scalar, vector)
+    return ParityReport(
+        trace_name=trace.name,
+        frame_ids=scalar.frame_ids,
+        identical=not mismatches,
+        mismatches=mismatches,
+        scalar_seconds=scalar.elapsed_seconds,
+        vector_seconds=vector.elapsed_seconds,
+    )

@@ -1,19 +1,25 @@
 """The fully resolved input of one end-to-end evaluation.
 
 A :class:`PipelineRequest` pins down everything the six stages depend
-on: the benchmark alias, the sequence-length scale, the MEGsim knobs
-and the GPU configuration.  ``None`` defaults are resolved at
-construction (:meth:`PipelineRequest.create`), so a request built with
-explicit paper defaults and one built with ``None`` fingerprint — and
-therefore cache — identically.
+on: the benchmark alias, the sequence-length scale, the MEGsim knobs,
+the GPU configuration and the cycle-simulation execution backend.
+``None`` defaults are resolved at construction
+(:meth:`PipelineRequest.create`), so a request built with explicit
+paper defaults and one built with ``None`` fingerprint — and therefore
+cache — identically.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.sampler import MEGsimOptions
-from repro.gpu.config import GPUConfig, default_config
+from repro.gpu.config import (
+    CycleConfig,
+    GPUConfig,
+    default_config,
+    default_cycle_config,
+)
 
 
 @dataclass(frozen=True)
@@ -24,6 +30,7 @@ class PipelineRequest:
     scale: float
     options: MEGsimOptions
     config: GPUConfig
+    cycle: CycleConfig = field(default_factory=CycleConfig)
 
     @classmethod
     def create(
@@ -32,11 +39,20 @@ class PipelineRequest:
         scale: float = 1.0,
         options: MEGsimOptions | None = None,
         config: GPUConfig | None = None,
+        cycle: CycleConfig | None = None,
     ) -> "PipelineRequest":
-        """Build a request, resolving ``None`` to the paper defaults."""
+        """Build a request, resolving ``None`` to the paper defaults.
+
+        ``cycle=None`` resolves through the *ambient* cycle config
+        (:func:`repro.gpu.config.default_cycle_config`), so a CLI-level
+        ``--backend`` scope reaches every request created under it; the
+        resolved value is pinned into the request — and its stage
+        fingerprints — here, keeping the stages themselves pure.
+        """
         return cls(
             alias=alias,
             scale=float(scale),
             options=options if options is not None else MEGsimOptions(),
             config=config if config is not None else default_config(),
+            cycle=cycle if cycle is not None else default_cycle_config(),
         )

@@ -84,7 +84,9 @@ def _compute_ground_truth(
     request: PipelineRequest, artifacts: dict
 ) -> SequenceResult:
     with span("evaluate.ground_truth", benchmark=request.alias):
-        return CycleAccurateSimulator(request.config).simulate(artifacts["trace"])
+        return CycleAccurateSimulator(
+            request.config, cycle=request.cycle
+        ).simulate(artifacts["trace"])
 
 
 def _compute_representatives(
@@ -96,7 +98,7 @@ def _compute_representatives(
         benchmark=request.alias,
         frames=plan.selected_frame_count,
     ):
-        return CycleAccurateSimulator(request.config).simulate(
+        return CycleAccurateSimulator(request.config, cycle=request.cycle).simulate(
             artifacts["trace"], frame_ids=list(plan.representative_frames)
         )
 
@@ -135,7 +137,9 @@ STAGES: tuple[Stage, ...] = (
     Stage(
         name="plan",
         kind="plan",
-        version=1,
+        # v2: warm-started BIC sweep (split seeding, mixed per-k seeds,
+        # saturation/plateau stopping) — plans are not comparable to v1's.
+        version=2,
         requires=("profile",),
         persist=True,
         params=lambda request: {"options": request.options},
@@ -149,7 +153,10 @@ STAGES: tuple[Stage, ...] = (
         version=1,
         requires=("trace",),
         persist=True,
-        params=lambda request: {"config": request.config},
+        # The backend is bit-identical by contract, but it is still an
+        # input: keying it keeps a broken backend from poisoning the
+        # other's cached artifacts.
+        params=lambda request: {"config": request.config, "cycle": request.cycle},
         compute=_compute_ground_truth,
         encode=lambda result: result.to_dict(),
         decode=SequenceResult.from_dict,
@@ -160,7 +167,7 @@ STAGES: tuple[Stage, ...] = (
         version=1,
         requires=("trace", "plan"),
         persist=True,
-        params=lambda request: {"config": request.config},
+        params=lambda request: {"config": request.config, "cycle": request.cycle},
         compute=_compute_representatives,
         encode=lambda result: result.to_dict(),
         decode=SequenceResult.from_dict,

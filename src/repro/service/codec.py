@@ -20,7 +20,7 @@ import typing
 
 from repro.core.sampler import MEGsimOptions
 from repro.errors import ServiceError
-from repro.gpu.config import GPUConfig
+from repro.gpu.config import CycleConfig, GPUConfig
 from repro.pipeline.request import PipelineRequest
 from repro.store import jsonable
 
@@ -40,6 +40,7 @@ def encode_request(request: PipelineRequest) -> dict:
         "scale": request.scale,
         "options": jsonable(request.options),
         "config": jsonable(request.config),
+        "cycle": jsonable(request.cycle),
     }
 
 
@@ -111,6 +112,10 @@ def decode_request(payload: dict | str) -> PipelineRequest:
             scale=float(payload["scale"]),
             options=_build(MEGsimOptions, payload["options"]),
             config=_build(GPUConfig, payload["config"]),
+            # Documents written before the backend existed omit the
+            # field; they meant the scalar default, which is also what
+            # keeps their fingerprints stable.
+            cycle=_build(CycleConfig, payload.get("cycle", {})),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise ServiceError(f"malformed request document: {exc}") from exc

@@ -30,7 +30,7 @@ class TestCatalog:
         assert set(bench_names("smoke")) <= set(bench_names("full"))
 
     def test_smoke_members(self):
-        assert bench_names("smoke") == ["table3", "fig7", "speedup"]
+        assert bench_names("smoke") == ["table3", "fig7", "speedup", "parity"]
 
     def test_suite_filter_preserves_run_order(self):
         order = {name: index for index, name in enumerate(bench_names())}
@@ -120,3 +120,18 @@ class TestExtractors:
         # Wall-clock-derived values must never reach the deterministic
         # sections (metrics/accuracy/info).
         assert outcome.accuracy == {}
+
+    def test_parity_keeps_speedup_out_of_results(self):
+        result = ExperimentResult(
+            name="backend_compare",
+            data={
+                "bbr1": {"identical": True, "frames_checked": 16,
+                         "mismatches": [], "speedup": 2.5},
+                "all_identical": True,
+            },
+            report="",
+        )
+        outcome = BENCHES["parity"].extract(result)
+        assert outcome.accuracy == {"parity.identical": 1.0}
+        assert outcome.metrics == {"frames_checked": [16.0]}
+        assert outcome.timing_info["vector_speedup"] == {"bbr1": 2.5}

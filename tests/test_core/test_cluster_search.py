@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.errors import ClusteringError
-from repro.core.cluster_search import PAPER_THRESHOLD, search_clustering
+from repro.core.cluster_search import (
+    PAPER_THRESHOLD,
+    _mix_seed,
+    search_clustering,
+)
+from repro.core.xmeans import split_seed_centroids
+from repro.obs import collecting
 
 
 def blobs(k_true=4, n_per=40, separation=60.0, seed=0) -> np.ndarray:
@@ -71,6 +77,88 @@ class TestSearch:
 
     def test_paper_threshold_constant(self):
         assert PAPER_THRESHOLD == 0.85
+
+
+class TestWarmStart:
+    def test_one_full_run_per_explored_k(self):
+        """Warm-starting costs exactly one full-N k-means per k, whatever
+        ``restarts`` says (the parameter is interface-compat only)."""
+        with collecting() as collector:
+            result = search_clustering(blobs(), restarts=3)
+        assert collector.counters["cluster.kmeans_runs"] == len(result.explored_k)
+
+    def test_deterministic_across_calls(self):
+        points = blobs(k_true=5, seed=3)
+        first = search_clustering(points, seed=11)
+        second = search_clustering(points, seed=11)
+        assert first.chosen_k == second.chosen_k
+        assert first.bic_scores == second.bic_scores
+        assert np.array_equal(first.clustering.labels, second.clustering.labels)
+
+    def test_distinct_seeds_explore_distinct_streams(self):
+        """The old scheme (seed + attempt * 9973) aliased neighbouring base
+        seeds and ignored k; the mixed seeds must separate all three axes."""
+        mixed = {
+            _mix_seed(seed, k, attempt)
+            for seed in range(4)
+            for k in range(1, 40)
+            for attempt in range(4)
+        }
+        assert len(mixed) == 4 * 39 * 4
+        # Regression for the exact collision family: attempt a of base
+        # seed s and attempt a+1 of base seed s - 9973 used to coincide.
+        assert _mix_seed(0, 5, 1) != _mix_seed(-9973, 5, 2)
+
+    def test_seed_still_changes_outcome_shape(self):
+        # Three symmetric blobs: the 2-means split of the root cluster is
+        # a marginal, direction-ambiguous decision, so the local split
+        # test genuinely depends on its RNG draw.
+        rng = np.random.default_rng(0)
+        angles = np.array([0.0, 2.0 * np.pi / 3.0, 4.0 * np.pi / 3.0])
+        centers = np.stack(
+            [np.cos(angles), np.sin(angles)], axis=1
+        ) * (30.0 / np.sqrt(3.0))
+        points = np.vstack(
+            [rng.normal(c, 1.0, size=(40, 2)) for c in centers]
+        )
+        curves = {
+            search_clustering(points, seed=s).bic_scores for s in range(8)
+        }
+        # Ambiguous data: at least some seeds must trace different curves
+        # (if all eight coincide the seed is being ignored).
+        assert len(curves) >= 2
+
+    def test_plateau_stops_no_later_than_literal_rule(self):
+        points = blobs(k_true=4)
+        literal = search_clustering(points, plateau=0.0)
+        tolerant = search_clustering(points, plateau=0.05)
+        assert tolerant.explored_k[-1] <= literal.explored_k[-1]
+        # Both see the same curve prefix, so the stricter stop can only
+        # trim the flat tail, not change the scores it did explore.
+        n = len(tolerant.bic_scores)
+        assert tolerant.bic_scores == literal.bic_scores[:n]
+
+    def test_plateau_validation(self):
+        with pytest.raises(ClusteringError):
+            search_clustering(blobs(), plateau=-0.1)
+        with pytest.raises(ClusteringError):
+            search_clustering(blobs(), plateau=1.0)
+
+    def test_split_seed_centroids_grows_by_one(self):
+        from repro.core.kmeans import kmeans
+
+        points = blobs(k_true=3)
+        base = kmeans(points, 2, seed=0)
+        seeds = split_seed_centroids(points, base, seed=1)
+        assert seeds is not None
+        assert seeds.shape == (3, points.shape[1])
+
+    def test_split_seed_centroids_none_on_coincident_points(self):
+        from repro.core.kmeans import kmeans
+
+        points = np.ones((12, 3))
+        base = kmeans(points, 2, seed=0)
+        assert split_seed_centroids(points, base, seed=1) is None
 
 
 class TestValidation:

@@ -7,7 +7,12 @@ from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
 from repro.errors import ClusteringError
-from repro.core.kmeans import KMeansResult, kmeans
+from repro.core.kmeans import (
+    KMeansResult,
+    _kmeans_plus_plus,
+    kmeans,
+    minibatch_kmeans,
+)
 
 
 def two_blobs(n_per=50, separation=100.0, seed=0) -> np.ndarray:
@@ -213,3 +218,76 @@ class TestInvariants:
         assert np.all(chosen <= distances.min(axis=1) + 1e-6) or np.all(
             result.cluster_sizes() > 0
         )
+
+
+class TestDegenerateSeeding:
+    """k-means++ and the Lloyd loop must survive pathological inputs."""
+
+    def test_k_exceeds_distinct_points(self):
+        # 3 distinct values replicated 4x, k = 5 > 3 distinct.
+        points = np.repeat(np.arange(3.0)[:, None], 2, axis=1)
+        points = np.tile(points, (4, 1))
+        result = kmeans(points, 5, seed=0)
+        assert result.labels.shape == (12,)
+        assert result.labels.min() >= 0 and result.labels.max() < 5
+
+    def test_all_coincident_points(self):
+        points = np.full((20, 4), 7.5)
+        for k in (1, 2, 5):
+            result = kmeans(points, k, seed=1)
+            assert result.wcss == pytest.approx(0.0)
+            assert result.labels.min() >= 0 and result.labels.max() < k
+
+    def test_plus_plus_zero_spread_never_raises(self):
+        rng = np.random.default_rng(0)
+        centroids = _kmeans_plus_plus(np.zeros((6, 2)), 4, rng)
+        assert centroids.shape == (4, 2)
+        assert np.all(centroids == 0.0)
+
+    def test_single_point_per_cluster(self):
+        points = np.arange(4.0)[:, None] * 100.0
+        result = kmeans(points, 4, seed=2)
+        assert sorted(result.labels.tolist()) == [0, 1, 2, 3]
+        assert result.wcss == pytest.approx(0.0)
+
+    def test_single_point_dataset(self):
+        result = kmeans(np.array([[3.0, 4.0]]), 1, seed=0)
+        assert result.labels.tolist() == [0]
+        assert result.centroids[0].tolist() == [3.0, 4.0]
+
+
+class TestMinibatch:
+    def test_recovers_separated_blobs(self):
+        points = two_blobs(n_per=400)
+        result = minibatch_kmeans(points, 2, seed=0, batch_size=64)
+        sizes = sorted(result.cluster_sizes().tolist())
+        assert sizes == [400, 400]
+        full = kmeans(points, 2, seed=0)
+        assert result.wcss <= full.wcss * 1.05
+
+    def test_deterministic(self):
+        points = two_blobs(n_per=100, seed=5)
+        first = minibatch_kmeans(points, 3, seed=9)
+        second = minibatch_kmeans(points, 3, seed=9)
+        assert np.array_equal(first.labels, second.labels)
+        assert first.wcss == second.wcss
+
+    def test_warm_start_centroids(self):
+        points = two_blobs(n_per=50)
+        warm = kmeans(points, 2, seed=0).centroids
+        result = minibatch_kmeans(points, 2, seed=0, initial_centroids=warm)
+        assert result.k == 2
+        assert result.cluster_sizes().min() > 0
+
+    def test_validation(self):
+        points = two_blobs(n_per=10)
+        with pytest.raises(ClusteringError):
+            minibatch_kmeans(points, 0)
+        with pytest.raises(ClusteringError):
+            minibatch_kmeans(points, 2, batch_size=0)
+        with pytest.raises(ClusteringError):
+            minibatch_kmeans(points, 2, max_iterations=0)
+        with pytest.raises(ClusteringError):
+            minibatch_kmeans(points, 2, initial_centroids=np.zeros((3, 2)))
+        with pytest.raises(ClusteringError):
+            minibatch_kmeans(np.zeros((0, 2)), 1)

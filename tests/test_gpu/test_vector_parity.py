@@ -1,0 +1,130 @@
+"""Vector backend parity: batched lowering must match the scalar oracle.
+
+The vector backend is only admissible because it is bit-identical to the
+scalar reference model (docs/simulation-backends.md).  These tests assert
+that contract on every rendering mode, plus the harness's own guarantees
+(deterministic sampling, field-level mismatch reporting) and the
+frame-selection fixes that rode along (duplicate dedup, empty-selection
+error).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.gpu.config import CycleConfig, GPUConfig
+from repro.gpu.cycle_sim import CycleAccurateSimulator
+from repro.gpu.parity import (
+    check_backend_parity,
+    compare_results,
+    sample_frame_ids,
+)
+
+
+def scalar_sim(**kwargs) -> CycleAccurateSimulator:
+    return CycleAccurateSimulator(cycle=CycleConfig(backend="scalar"), **kwargs)
+
+
+def vector_sim(**kwargs) -> CycleAccurateSimulator:
+    return CycleAccurateSimulator(cycle=CycleConfig(backend="vector"), **kwargs)
+
+
+class TestParity:
+    @pytest.mark.parametrize("mode", ["tbr", "tbdr", "imr"])
+    def test_bit_identical_per_mode(self, tiny_trace, mode):
+        report = check_backend_parity(
+            tiny_trace, config=GPUConfig(rendering_mode=mode)
+        )
+        assert report.identical, report.mismatches
+        assert report.mismatches == ()
+
+    def test_full_sequence_identity(self, tiny_trace):
+        scalar = scalar_sim().simulate(tiny_trace)
+        vector = vector_sim().simulate(tiny_trace)
+        assert scalar.frame_ids == vector.frame_ids
+        for left, right in zip(scalar.frame_stats, vector.frame_stats):
+            assert left == right
+
+    def test_parity_with_warmup(self, tiny_trace):
+        report = check_backend_parity(
+            tiny_trace, frame_ids=[2, 4], warmup_frames=2
+        )
+        assert report.identical, report.mismatches
+
+    def test_report_shape(self, tiny_trace):
+        report = check_backend_parity(tiny_trace)
+        assert report.trace_name == tiny_trace.name
+        assert report.frame_ids == tuple(range(tiny_trace.frame_count))
+        payload = report.to_dict()
+        assert payload["identical"] is True
+        assert payload["mismatches"] == []
+
+    def test_compare_reports_field_mismatch(self, tiny_trace):
+        result = scalar_sim().simulate(tiny_trace, frame_ids=[0, 1])
+        stats = list(result.frame_stats)
+        stats[1] = dataclasses.replace(stats[1], cycles=stats[1].cycles + 1.0)
+        doctored = dataclasses.replace(result, frame_stats=tuple(stats))
+        mismatches = compare_results(result, doctored)
+        assert len(mismatches) == 1
+        assert "frame 1" in mismatches[0] and "cycles" in mismatches[0]
+
+
+class TestSampling:
+    def test_small_trace_takes_all_frames(self):
+        assert sample_frame_ids(5, max_frames=16) == [0, 1, 2, 3, 4]
+
+    def test_large_trace_strides_and_keeps_last(self):
+        sampled = sample_frame_ids(1000, max_frames=16)
+        assert len(sampled) == 16
+        assert sampled[0] == 0
+        assert sampled[-1] == 999
+        assert sampled == sorted(set(sampled))
+
+    def test_deterministic(self):
+        assert sample_frame_ids(317, max_frames=9) == sample_frame_ids(
+            317, max_frames=9
+        )
+
+    def test_rejects_empty_trace(self):
+        with pytest.raises(SimulationError):
+            sample_frame_ids(0)
+
+    def test_rejects_bad_max(self):
+        with pytest.raises(SimulationError):
+            sample_frame_ids(10, max_frames=0)
+
+
+class TestFrameSelection:
+    """Regression tests for the simulate() frame-selection fixes."""
+
+    def test_duplicate_frame_ids_deduplicated(self, tiny_trace):
+        sim = scalar_sim()
+        duplicated = sim.simulate(tiny_trace, frame_ids=[3, 3, 5, 5, 3])
+        clean = sim.simulate(tiny_trace, frame_ids=[3, 5])
+        assert duplicated.frame_ids == (3, 5)
+        assert duplicated.frame_stats == clean.frame_stats
+
+    def test_empty_frame_ids_rejected(self, tiny_trace):
+        with pytest.raises(SimulationError, match="empty frame selection"):
+            scalar_sim().simulate(tiny_trace, frame_ids=[])
+
+    def test_empty_frame_ids_rejected_by_vector_backend(self, tiny_trace):
+        with pytest.raises(SimulationError, match="empty frame selection"):
+            vector_sim().simulate(tiny_trace, frame_ids=[])
+
+
+class TestCycleConfig:
+    def test_default_is_scalar(self):
+        assert CycleConfig().backend == "scalar"
+        assert CycleAccurateSimulator().cycle.backend == "scalar"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError):
+            CycleConfig(backend="simd")
+
+    def test_vector_requires_region_cache_model(self):
+        with pytest.raises(SimulationError):
+            CycleAccurateSimulator(
+                cache_model="line", cycle=CycleConfig(backend="vector")
+            )
