@@ -185,3 +185,58 @@ assert "service.jobs.created" not in counters, counters
 assert not any(c.startswith("pipeline.computed.") for c in counters), counters
 print("service end-to-end gate: OK")
 EOF
+
+# The report contract (docs/observability.md, "Trace IDs and the
+# report"): rendering the dashboard twice over the drained service
+# database plus the bench artifacts the earlier gates produced must be
+# byte-identical (sha256), self-contained (no scripts, no external
+# references), and every persisted span tree must answer to its
+# request's trace id.
+echo "== report determinism gate =="
+REPORT_BENCH="$SERVICE_TMP/bench"
+mkdir -p "$REPORT_BENCH"
+cp "$GATE_TMP/smoke-scalar.json" "$REPORT_BENCH/BENCH_smoke-scalar.json"
+cp "$GATE_TMP/smoke-vector.json" "$REPORT_BENCH/BENCH_smoke-vector.json"
+MEGSIM_DB="$SERVICE_DB" python -m repro report \
+    --bench-dir "$REPORT_BENCH" --out "$SERVICE_TMP/report1.html"
+MEGSIM_DB="$SERVICE_DB" python -m repro report \
+    --bench-dir "$REPORT_BENCH" --out "$SERVICE_TMP/report2.html"
+HASH1="$(sha256sum "$SERVICE_TMP/report1.html" | cut -d' ' -f1)"
+HASH2="$(sha256sum "$SERVICE_TMP/report2.html" | cut -d' ' -f1)"
+if [ "$HASH1" != "$HASH2" ]; then
+    echo "report render is not byte-deterministic: $HASH1 != $HASH2" >&2
+    exit 1
+fi
+echo "report double-render sha256: OK ($HASH1)"
+python - "$SERVICE_DB" "$SERVICE_TMP/report1.html" <<'EOF'
+import sys
+
+from repro.obs import read_trace_artifact
+from repro.service import ResultsDB
+
+db_path, html_path = sys.argv[1:3]
+page = open(html_path, encoding="utf-8").read()
+for banned in ("<script", "http://", "https://", "src="):
+    assert banned not in page, f"report is not self-contained: {banned!r}"
+assert "Accuracy vs speedup" in page, "bench scatter section missing"
+assert "Stage waterfalls" in page, "bench waterfall section missing"
+assert "Request trace" in page, "trace waterfall section missing"
+with ResultsDB(db_path) as db:
+    runs = db.runs(limit=100)
+traced = [r for r in runs if r.get("trace_path")]
+assert traced, "no run persisted a trace"
+for run in traced:
+    artifact = read_trace_artifact(run["trace_path"])
+    assert artifact["trace_id"] == run["trace_id"], run["id"]
+    stack = list(artifact["roots"])
+    while stack:
+        record = stack.pop()
+        span_trace = record.attrs.get("trace_id")
+        if span_trace is not None:
+            assert span_trace == run["trace_id"], (
+                f"request {run['id']}: span {record.name} carries "
+                f"{span_trace}, expected {run['trace_id']}"
+            )
+        stack.extend(record.children)
+print(f"report trace lineage: OK ({len(traced)} traced run(s))")
+EOF

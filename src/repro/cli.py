@@ -79,7 +79,7 @@ from repro.store import get_store, memory_store, store_scope
 from repro.workloads.benchmarks import benchmark_aliases, make_benchmark
 
 #: Subcommands that operate on the service results database.
-_SERVICE_COMMANDS = ("serve", "submit", "status", "runs")
+_SERVICE_COMMANDS = ("serve", "submit", "status", "runs", "report")
 
 
 def _add_scale(parser: argparse.ArgumentParser) -> None:
@@ -268,6 +268,14 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None, metavar="N",
                        help="exit after N consecutive empty polls "
                             "(default: poll forever)")
+    serve.add_argument("--report", dest="report_out", default=None,
+                       metavar="PATH",
+                       help="regenerate the HTML experiment report at PATH "
+                            "each time the queue drains")
+    serve.add_argument("--bench-dir", dest="bench_dir", default=None,
+                       metavar="DIR",
+                       help="BENCH_*.json history folded into the --report "
+                            "page (default: database sections only)")
     _add_db(serve)
     _add_jobs(serve)
     _add_store(serve)
@@ -314,6 +322,24 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the joined request+result rows as JSON")
     _add_db(runs)
     _add_obs(runs)
+
+    report = commands.add_parser(
+        "report", help="render the static HTML experiment dashboard"
+    )
+    report.add_argument("--bench-dir", dest="bench_dir", default=None,
+                        metavar="DIR",
+                        help="directory of BENCH_*.json artifacts to chart "
+                             "(default: no bench sections)")
+    report.add_argument("--run", type=int, default=None, metavar="ID",
+                        help="request id whose persisted trace to render "
+                             "(default: newest completed run with one)")
+    report.add_argument("--out", default="report.html", metavar="PATH",
+                        help="output HTML file (default %(default)s)")
+    report.add_argument("--json", dest="as_json", action="store_true",
+                        help="print the report data document as JSON "
+                             "instead of writing HTML")
+    _add_db(report)
+    _add_obs(report)
 
     lint = commands.add_parser(
         "lint", help="static analysis: determinism/layering/doc invariants"
@@ -592,7 +618,7 @@ def _run_command(args: argparse.Namespace) -> int:
 
 
 def _service(args: argparse.Namespace) -> int:
-    """The service subcommands: serve / submit / status / runs."""
+    """The service subcommands: serve / submit / status / runs / report."""
     import json
 
     from repro.service import (
@@ -606,16 +632,44 @@ def _service(args: argparse.Namespace) -> int:
     )
 
     if args.command == "serve":
+        on_drain = None
+        if args.report_out:
+            from repro.report import build_report
+
+            def on_drain(db, _args=args):
+                target = build_report(
+                    _args.report_out, db_path=db.path,
+                    bench_dir=_args.bench_dir,
+                )
+                print(f"report: {target}", flush=True)
+
         summary = serve(
             args.db,
             parallel=ParallelConfig.from_cli(args.jobs),
             once=args.once,
             poll_seconds=args.poll,
             idle_limit=args.idle_limit,
+            on_drain=on_drain,
         )
         print(render_status(summary))
         print(f"ticks:    {summary['ticks']}  "
               f"(idle polls: {summary['idle_polls']})")
+        return 0
+
+    if args.command == "report":
+        from repro.report import report_data, write_report
+        from repro.service import resolve_db_path
+
+        data = report_data(
+            db_path=resolve_db_path(args.db),
+            bench_dir=args.bench_dir,
+            run=args.run,
+        )
+        if args.as_json:
+            print(json.dumps(data, indent=2, sort_keys=True))
+            return 0
+        target = write_report(args.out, data)
+        print(f"wrote report to {target}")
         return 0
 
     if args.command == "submit":

@@ -52,6 +52,17 @@ class ServiceError(ReproError):
     """
 
 
+class ReportError(ReproError):
+    """Report generation received unusable inputs.
+
+    Raised for malformed bench artifacts, an unreadable results
+    database, or a ``--run`` selector naming a request without a
+    persisted trace; missing *optional* inputs (no artifacts yet, no
+    database yet) are not errors — the report renders the sections it
+    has data for.
+    """
+
+
 class StoreError(ReproError):
     """The artifact store was misused or its on-disk state is unusable.
 

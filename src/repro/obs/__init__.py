@@ -17,6 +17,12 @@ Everything the pipeline reports about itself flows through this package:
   (:mod:`repro.obs.export`; the ``--metrics`` CLI flag).
 * :func:`render_report` — the ``--profile`` text summary
   (:mod:`repro.obs.report`).
+* :func:`span_to_dict` / :func:`span_from_dict` /
+  :func:`spans_from_events` / :func:`write_trace_artifact` /
+  :func:`read_trace_artifact` — faithful span-tree (de)serialization
+  and the persisted ``megsim-trace`` artifact (:mod:`repro.obs.spantree`,
+  rendered by ``megsim report``).  Every collector carries a run-scoped
+  ``trace_id`` (:func:`new_trace_id`) stamped on all sink events.
 * :class:`RunManifest` / :func:`describe_version` — durable provenance
   for every run (:mod:`repro.obs.manifest`).
 * :class:`ObsBuffer` / :func:`capture_buffer` / :func:`merge_buffer` —
@@ -49,6 +55,13 @@ from repro.obs.manifest import RunManifest, describe_version
 from repro.obs.metrics import Histogram, MetricsRegistry, Timer
 from repro.obs.report import render_report
 from repro.obs.sink import JsonlSink
+from repro.obs.spantree import (
+    read_trace_artifact,
+    span_from_dict,
+    span_to_dict,
+    spans_from_events,
+    write_trace_artifact,
+)
 from repro.obs.trace import (
     Collector,
     Span,
@@ -56,6 +69,7 @@ from repro.obs.trace import (
     counter,
     gauge,
     get_collector,
+    new_trace_id,
     observe,
     set_collector,
     span,
@@ -81,6 +95,12 @@ __all__ = [
     "RunManifest",
     "describe_version",
     "wall_clock",
+    "new_trace_id",
+    "span_to_dict",
+    "span_from_dict",
+    "spans_from_events",
+    "write_trace_artifact",
+    "read_trace_artifact",
     "Histogram",
     "Timer",
     "MetricsRegistry",

@@ -65,12 +65,22 @@ class ObsBuffer:
         gauges: the worker's global gauge values (last write wins).
         hists: the worker's histogram registry state
             (``name -> Histogram.to_dict()``).
+        trace_id: the worker collector's trace id.  When the worker
+            inherited the parent run's id this matches the merging
+            collector's; a mismatch means the buffer came from an
+            unrelated run (merging still works — the spans simply join
+            the adopting run's trace).
+        worker: deterministic label of the worker that produced the
+            buffer (e.g. ``"task:3"``); recorded as a ``worker`` attr on
+            each adopted root so waterfalls keep their lineage.
     """
 
     spans: tuple[SpanDump, ...] = ()
     counters: dict = field(default_factory=dict)
     gauges: dict = field(default_factory=dict)
     hists: dict = field(default_factory=dict)
+    trace_id: str | None = None
+    worker: str | None = None
 
     @property
     def span_count(self) -> int:
@@ -94,13 +104,22 @@ def _dump_span(record: Span) -> SpanDump:
     )
 
 
-def capture_buffer(collector: Collector) -> ObsBuffer:
-    """Export a (finished) collector's state as a picklable buffer."""
+def capture_buffer(collector: Collector, worker: str | None = None) -> ObsBuffer:
+    """Export a (finished) collector's state as a picklable buffer.
+
+    Args:
+        collector: the worker-local collector to flatten.
+        worker: optional deterministic label (``"task:<index>"`` in
+            :func:`repro.parallel.parallel_map`) naming where the buffer
+            was recorded; carried through to the adopted spans' lineage.
+    """
     return ObsBuffer(
         spans=tuple(_dump_span(record) for record in collector.roots),
         counters=dict(collector.counters),
         gauges=dict(collector.gauges),
         hists=collector.metrics.state(),
+        trace_id=collector.trace_id,
+        worker=worker,
     )
 
 
@@ -129,7 +148,7 @@ def merge_buffer(collector: Collector, buffer: ObsBuffer) -> None:
     keeps the resulting span list and totals deterministic.
     """
     for dump in buffer.spans:
-        collector.adopt(_rebuild_span(dump))
+        collector.adopt(_rebuild_span(dump), worker=buffer.worker)
     collector.absorb_totals(buffer.counters, buffer.gauges)
     if buffer.hists:
         collector.absorb_metrics(buffer.hists)

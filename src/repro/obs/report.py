@@ -69,13 +69,20 @@ def render_report(collector: Collector, top: int = 20) -> str:
         lines.append("")
         lines.append(
             f"{'histogram':<30} {'count':>7} {'mean':>10} {'p50':>10} "
-            f"{'p90':>10} {'p99':>10} {'max':>10}"
+            f"{'p90':>10} {'p95':>10} {'p99':>10} {'max':>10}"
         )
-        for name, row in collector.metrics.aggregates().items():
+        names = collector.metrics.names()
+        for name in names[:top]:
+            row = collector.metrics.histogram(name).aggregates(
+                (50.0, 90.0, 95.0, 99.0)
+            )
             lines.append(
                 f"{name:<30} {row['count']:>7} {row['mean']:>10.4g} "
                 f"{row['p50']:>10.4g} {row['p90']:>10.4g} "
-                f"{row['p99']:>10.4g} {row['max']:>10.4g}"
+                f"{row['p95']:>10.4g} {row['p99']:>10.4g} "
+                f"{row['max']:>10.4g}"
             )
+        if len(names) > top:
+            lines.append(f"... {len(names) - top} more histogram(s)")
 
     return "\n".join(lines)

@@ -1,0 +1,225 @@
+"""Span-tree serialization: completed trees to JSON and back.
+
+Three distinct span representations exist in the codebase, and this
+module is the bridge between them:
+
+* live :class:`~repro.obs.trace.Span` objects inside a collector;
+* the JSONL *event* stream a :class:`~repro.obs.JsonlSink` writes
+  (``span_start``/``span_end`` lines interleaved with counters);
+* the per-run *trace artifact* the service persists next to its
+  database (``megsim-trace`` JSONL, referenced from
+  ``results.trace_path``) and ``megsim report`` renders as waterfalls.
+
+Unlike :mod:`repro.obs.buffer` — which deliberately discards ids
+because adopted spans get re-identified by the merging collector —
+these round trips are *faithful*: ``span_from_dict(span_to_dict(s))``
+preserves ``span_id``/``parent_id``/``attrs``/``counters``/``gauges``
+exactly (pinned by ``tests/test_obs/test_spantree.py``), so a tree can
+be rebuilt from disk and still joined against counter events that name
+its span ids.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import TraceError
+from repro.obs.trace import Span
+
+#: Schema tag of the persisted trace artifact's header line.
+TRACE_SCHEMA = "megsim-trace"
+
+#: Bumped when the artifact layout changes incompatibly.
+TRACE_SCHEMA_VERSION = 1
+
+
+def span_to_dict(record: Span) -> dict:
+    """Flatten one *completed* span subtree to plain JSON data.
+
+    Raises:
+        TraceError: when the span (or a descendant) is still open —
+            an open span has no duration and cannot be persisted.
+    """
+    if record.ended is None:
+        raise TraceError(
+            f"span {record.name!r} is still open; only completed span "
+            f"trees can be serialized"
+        )
+    return {
+        "name": record.name,
+        "span_id": record.span_id,
+        "parent_id": record.parent_id,
+        "attrs": dict(record.attrs),
+        "elapsed_seconds": record.elapsed_seconds,
+        "counters": dict(record.counters),
+        "gauges": dict(record.gauges),
+        "children": [span_to_dict(child) for child in record.children],
+    }
+
+
+def span_from_dict(payload: dict) -> Span:
+    """Rebuild a completed :class:`Span` tree from :func:`span_to_dict`.
+
+    Ids, attrs and per-span counter/gauge attribution are restored
+    exactly; timestamps are rebased to ``started = 0.0`` (the original
+    ``perf_counter`` epoch is meaningless outside its process, so only
+    durations survive — the same convention as
+    :mod:`repro.obs.buffer`).
+    """
+    try:
+        record = Span(
+            str(payload["name"]),
+            dict(payload.get("attrs", {})),
+            span_id=int(payload.get("span_id", 0)),
+            parent_id=(
+                None if payload.get("parent_id") is None
+                else int(payload["parent_id"])
+            ),
+        )
+        record.started = 0.0
+        record.ended = float(payload.get("elapsed_seconds", 0.0))
+        record.counters = dict(payload.get("counters", {}))
+        record.gauges = dict(payload.get("gauges", {}))
+        record.children = [
+            span_from_dict(child) for child in payload.get("children", [])
+        ]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceError(f"malformed span document: {exc}") from exc
+    return record
+
+
+def spans_from_events(events) -> list[Span]:
+    """Rebuild completed span trees from a JSONL event stream.
+
+    Args:
+        events: an iterable of event dicts as a
+            :class:`~repro.obs.JsonlSink` wrote them (``span_start`` /
+            ``span_end`` lines; ``counter``/``gauge`` events carrying a
+            ``span_id`` are attributed to the matching open span, other
+            event types are ignored).
+
+    Returns:
+        The completed root spans, in completion order — the same trees
+        ``collector.roots`` held when the stream was written.  Spans
+        whose ``span_end`` never arrived (a crashed run) are dropped,
+        together with their subtrees.
+    """
+    open_spans: dict[int, Span] = {}
+    closed: dict[int, Span] = {}
+    roots: list[Span] = []
+    for event in events:
+        kind = event.get("type")
+        if kind == "span_start":
+            record = Span(
+                str(event["name"]),
+                dict(event.get("attrs", {})),
+                span_id=int(event["span_id"]),
+                parent_id=(
+                    None if event.get("parent_id") is None
+                    else int(event["parent_id"])
+                ),
+            )
+            record.started = 0.0
+            open_spans[record.span_id] = record
+        elif kind == "span_end":
+            record = open_spans.pop(int(event["span_id"]), None)
+            if record is None:
+                continue  # end without a start: tolerate a clipped file
+            record.ended = float(event.get("elapsed_seconds", 0.0))
+            record.counters = dict(event.get("counters", record.counters))
+            record.gauges = dict(event.get("gauges", record.gauges))
+            closed[record.span_id] = record
+            parent = (
+                None if record.parent_id is None
+                else open_spans.get(record.parent_id)
+                or closed.get(record.parent_id)
+            )
+            if parent is not None:
+                parent.children.append(record)
+            else:
+                roots.append(record)
+        elif kind in ("counter", "gauge") and event.get("span_id"):
+            record = open_spans.get(int(event["span_id"]))
+            if record is None:
+                continue
+            name = str(event["name"])
+            if kind == "counter":
+                record.counters[name] = (
+                    record.counters.get(name, 0.0) + float(event["delta"])
+                )
+            else:
+                record.gauges[name] = float(event["value"])
+    # A root whose parent never closed was appended when its orphaned
+    # parent id resolved to nothing; keep only genuinely completed trees
+    # (every span in `roots` is closed by construction).
+    return roots
+
+
+def write_trace_artifact(
+    path, roots, trace_id: str, meta: dict | None = None
+) -> Path:
+    """Persist completed span trees as a ``megsim-trace`` JSONL artifact.
+
+    Line 1 is a header (schema tag, version, trace id, optional meta
+    such as the service request id); each following line is one root
+    span tree via :func:`span_to_dict`.  Returns the written path.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    roots = list(roots)
+    header = {
+        "schema": TRACE_SCHEMA,
+        "version": TRACE_SCHEMA_VERSION,
+        "trace_id": trace_id,
+        "meta": dict(meta) if meta else {},
+        "roots": len(roots),
+    }
+    with target.open("w", encoding="utf-8") as stream:
+        stream.write(json.dumps(header, sort_keys=True) + "\n")
+        for root in roots:
+            stream.write(json.dumps(span_to_dict(root), sort_keys=True) + "\n")
+    return target
+
+
+def read_trace_artifact(path) -> dict:
+    """Load a ``megsim-trace`` artifact written by :func:`write_trace_artifact`.
+
+    Returns:
+        ``{"trace_id": str, "meta": dict, "roots": list[Span]}``.
+
+    Raises:
+        TraceError: when the file is missing, not JSONL, or does not
+            carry the ``megsim-trace`` schema header.
+    """
+    target = Path(path)
+    try:
+        lines = target.read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        raise TraceError(f"cannot read trace artifact {target}: {exc}") from exc
+    if not lines:
+        raise TraceError(f"trace artifact {target} is empty")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"trace artifact {target} is not JSONL: {exc}") from exc
+    if not isinstance(header, dict) or header.get("schema") != TRACE_SCHEMA:
+        raise TraceError(
+            f"trace artifact {target} header schema is "
+            f"{header.get('schema') if isinstance(header, dict) else header!r}, "
+            f"expected {TRACE_SCHEMA!r}"
+        )
+    if header.get("version") != TRACE_SCHEMA_VERSION:
+        raise TraceError(
+            f"trace artifact {target} version {header.get('version')!r} is "
+            f"not the supported {TRACE_SCHEMA_VERSION}"
+        )
+    try:
+        roots = [span_from_dict(json.loads(line)) for line in lines[1:] if line]
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"trace artifact {target} is not JSONL: {exc}") from exc
+    return {
+        "trace_id": str(header.get("trace_id", "")),
+        "meta": dict(header.get("meta", {})),
+        "roots": roots,
+    }

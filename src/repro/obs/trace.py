@@ -33,12 +33,27 @@ same collector.
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Iterator
 
 from repro.obs.metrics import MetricsRegistry
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-digit trace id naming one run's span trees.
+
+    Trace ids are *execution identity*, not computed output: they let a
+    span event in a JSONL file, a worker buffer merged across a process
+    boundary, and a persisted per-request trace artifact all be joined
+    back to the run (or service request) that produced them.  They are
+    random by design — two runs with identical inputs share fingerprints
+    but never a trace id — so they must stay out of anything
+    byte-compared (bench artifacts, metric exports, report HTML).
+    """
+    return os.urandom(8).hex()
 
 
 class Span:
@@ -110,10 +125,15 @@ class Collector:
             every histogram recorded via :meth:`observe`.
         sink: optional event sink (e.g. :class:`repro.obs.JsonlSink`)
             receiving one dict per span/counter/gauge/observe event.
+        trace_id: run-scoped identity stamped on every emitted event
+            (:func:`new_trace_id` unless the caller supplies one —
+            worker collectors inherit the parent's so a whole
+            distributed run shares a single id).
     """
 
-    def __init__(self, sink=None) -> None:
+    def __init__(self, sink=None, trace_id: str | None = None) -> None:
         self.sink = sink
+        self.trace_id = trace_id if trace_id else new_trace_id()
         self.roots: list[Span] = []
         self.spans: list[Span] = []
         self.counters: dict[str, float] = {}
@@ -252,7 +272,7 @@ class Collector:
     # Worker-buffer merging (see repro.obs.buffer).
     # ------------------------------------------------------------------
 
-    def adopt(self, record: Span) -> None:
+    def adopt(self, record: Span, worker: str | None = None) -> None:
         """File an externally-built, *completed* span tree into this tree.
 
         The record (typically rebuilt from a worker's
@@ -261,7 +281,16 @@ class Collector:
         thread's currently open span (or as a root), registered in
         ``spans`` in completion order (children before parents), and its
         start/end events are emitted to the sink.
+
+        Args:
+            record: the completed span tree to file.
+            worker: originating-worker label (e.g. ``"task:3"``).  When
+                given it is recorded as a ``worker`` attr on the adopted
+                root, so a rendered waterfall can say *where* a subtree
+                ran instead of showing an anonymous graft.
         """
+        if worker is not None:
+            record.attrs.setdefault("worker", worker)
         parent = self.current_span()
         self._assign_ids(record, parent.span_id if parent is not None else None)
         with self._lock:
@@ -365,10 +394,16 @@ class Collector:
 
     def _emit(self, event: dict) -> None:
         if self.sink is not None:
-            self.sink.emit(event)
+            # Every event names the run it belongs to; a copy keeps the
+            # caller's dict (span attrs etc.) unstamped.
+            self.sink.emit({**event, "trace_id": self.trace_id})
 
     def emit_event(self, event: dict) -> None:
-        """Forward an arbitrary event dict to the sink (if any)."""
+        """Forward an arbitrary event dict to the sink (if any).
+
+        Like every internally-generated event, the forwarded dict is
+        stamped with this collector's ``trace_id``.
+        """
         self._emit(event)
 
     def close(self) -> None:
@@ -408,14 +443,16 @@ def get_collector() -> Collector | None:
 
 
 @contextmanager
-def collecting(sink=None) -> Iterator[Collector]:
+def collecting(sink=None, trace_id: str | None = None) -> Iterator[Collector]:
     """Install a fresh :class:`Collector` for the duration of a block.
 
     The previous collector (usually ``None``) is restored on exit; the
-    collector is yielded so callers can inspect or report on it.
+    collector is yielded so callers can inspect or report on it.  Pass
+    ``trace_id`` to join an existing run's trace (worker processes do
+    this); by default the collector names a fresh one.
     """
     previous = _active
-    collector = Collector(sink=sink)
+    collector = Collector(sink=sink, trace_id=trace_id)
     set_collector(collector)
     try:
         yield collector

@@ -39,6 +39,13 @@ from repro.parallel.config import ParallelConfig
 #: Shared read-only state of the current worker (or of the serial path).
 _WORKER_STATE: dict[str, Any] = {}
 
+#: Reserved state key carrying the parent run's trace context into
+#: workers: ``{"trace_id", "parent_span", "parent_span_id"}``.  Installed
+#: automatically by :func:`parallel_map` when a collector is active, so
+#: worker span trees join the parent's trace instead of starting one of
+#: their own.
+TRACE_STATE_KEY = "__obs_trace__"
+
 
 def get_state(key: str) -> Any:  # megsim: ambient(global-read)
     """Fetch one entry of the worker's shared state.
@@ -62,11 +69,24 @@ def _install_state(state: dict[str, Any]) -> None:  # megsim: ambient(global-wri
     _WORKER_STATE.update(state)
 
 
-def _run_buffered(fn: Callable[[Any], Any], item: Any):
-    """Run one task under a private collector; return (result, buffer)."""
-    with collecting() as collector:
+def _trace_context() -> dict:  # megsim: ambient(global-read)
+    """The parent run's trace context, if :func:`parallel_map` shipped one."""
+    return _WORKER_STATE.get(TRACE_STATE_KEY) or {}
+
+
+def _run_buffered(fn: Callable[[Any], Any], task: tuple[int, Any]):
+    """Run one indexed task under a private collector.
+
+    The collector inherits the parent run's ``trace_id`` from the
+    shipped trace context (fresh otherwise), and the returned
+    :class:`~repro.obs.ObsBuffer` is labelled ``task:<index>`` — the
+    item's position in the work list, which is deterministic where a
+    worker pid would not be.
+    """
+    index, item = task
+    with collecting(trace_id=_trace_context().get("trace_id")) as collector:
         result = fn(item)
-    return result, capture_buffer(collector)
+    return result, capture_buffer(collector, worker=f"task:{index}")
 
 
 def _mp_context():
@@ -108,6 +128,20 @@ def parallel_map(
     shared = dict(state) if state else {}
     jobs = min(config.jobs, len(work)) if work else 1
 
+    # Ship the parent run's trace context alongside the caller's state so
+    # worker collectors join this run's trace (serial execution needs no
+    # context: it records straight into the parent collector).
+    active = get_collector()
+    if active is not None and TRACE_STATE_KEY not in shared:
+        open_span = active.current_span()
+        shared[TRACE_STATE_KEY] = {
+            "trace_id": active.trace_id,
+            "parent_span": open_span.name if open_span is not None else None,
+            "parent_span_id": (
+                open_span.span_id if open_span is not None else None
+            ),
+        }
+
     if jobs <= 1:
         previous = dict(_WORKER_STATE)
         _install_state(shared)
@@ -127,7 +161,10 @@ def parallel_map(
         initargs=(shared,),
     ) as pool:
         outcomes = list(
-            pool.map(partial(_run_buffered, fn), work, chunksize=chunksize)
+            pool.map(
+                partial(_run_buffered, fn), enumerate(work),
+                chunksize=chunksize,
+            )
         )
 
     collector = get_collector()

@@ -1,0 +1,60 @@
+"""Experiment reporting: the ``megsim report`` static HTML dashboard.
+
+The observability layer records everything — bench artifacts, the
+results database, persisted span trees — and this package makes that
+evidence legible: one self-contained, byte-deterministic HTML page
+(inline CSS + SVG, no JavaScript, no third-party dependencies) with the
+accuracy-vs-speedup trajectory, per-stage span waterfalls, histogram
+percentile tables and the service's dedup ledger.
+
+Split (following fuzzbench's ``generate_report`` / ``web`` halves):
+
+* :mod:`repro.report.data` — :func:`report_data` gathers every input
+  into one plain-JSON document (the ``--json`` surface).
+* :mod:`repro.report.html` — :func:`render_html` formats that document
+  deterministically (the sha256 double-render CI gate).
+
+Quickstart::
+
+    from repro.report import build_report
+
+    build_report("report.html", db_path="service.sqlite3",
+                 bench_dir="benchmarks/baselines")
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.report.data import discover_bench_artifacts, report_data
+from repro.report.html import render_html
+
+
+def write_report(path, data: dict) -> Path:
+    """Render a report document to ``path``; returns the written path."""
+    target = Path(path)
+    if target.parent != Path(""):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(render_html(data), encoding="utf-8")
+    return target
+
+
+def build_report(
+    out,
+    db_path=None,
+    bench_dir=None,
+    run: int | None = None,
+) -> Path:
+    """Gather, render and write in one call (the CLI/serve-hook path)."""
+    return write_report(out, report_data(
+        db_path=db_path, bench_dir=bench_dir, run=run,
+    ))
+
+
+__all__ = [
+    "report_data",
+    "render_html",
+    "write_report",
+    "build_report",
+    "discover_bench_artifacts",
+]

@@ -16,7 +16,7 @@ from typing import Any
 from repro.core.sampler import MEGsimOptions
 from repro.errors import ConfigError
 from repro.gpu.config import GPUConfig
-from repro.obs import counter, span
+from repro.obs import counter, new_trace_id, span
 from repro.pipeline import evaluation_fingerprint
 from repro.pipeline.request import PipelineRequest
 from repro.service.codec import encode_request
@@ -58,7 +58,13 @@ def build_requests(
 def submit_requests(
     db: ResultsDB, requests: list[PipelineRequest]
 ) -> list[int]:
-    """Insert one pending request row per evaluation; returns their ids."""
+    """Insert one pending request row per evaluation; returns their ids.
+
+    Each request is minted its own trace id at submission: every span
+    later recorded on the request's behalf (scheduling, its jobs, its
+    finalization) is attributed to that id, and the persisted trace
+    artifact is written under it.
+    """
     ids = []
     with span("service.submit", requests=len(requests)):
         for request in requests:
@@ -70,6 +76,7 @@ def submit_requests(
                 request_json=json.dumps(
                     encode_request(request), sort_keys=True
                 ),
+                trace_id=new_trace_id(),
             )
             counter("service.requests.submitted")
             ids.append(request_id)

@@ -28,12 +28,20 @@ polls (``None`` = forever).
 from __future__ import annotations
 
 import time
-from typing import Any
+from contextlib import ExitStack
+from typing import Any, Callable
 
 from repro.analysis.metrics import relative_error
 from repro.errors import ServiceError
 from repro.gpu.stats import KEY_METRICS
-from repro.obs import counter, span
+from repro.obs import (
+    Span,
+    collecting,
+    counter,
+    get_collector,
+    span,
+    write_trace_artifact,
+)
 from repro.parallel import ParallelConfig, parallel_map
 from repro.pipeline import (
     evaluation_fingerprint,
@@ -127,16 +135,25 @@ def _dispatch_wave(
     db: ResultsDB, store: ArtifactStore, parallel: ParallelConfig | None
 ) -> int:
     """Tick step 2: execute every currently ready job as one wave."""
-    payloads: list[tuple[int, str, str]] = []
+    payloads: list[tuple[int, str, str, int | None, str | None]] = []
     for row in db.ready_jobs():
         job_id = int(row["id"])
         if not db.claim_job(job_id):
             continue
-        request_json = db.job_request_json(job_id)
-        if request_json is None:
+        request_row = db.job_request_row(job_id)
+        if request_row is None:
             db.finish_job(job_id, error="job is linked to no request")
             continue
-        payloads.append((job_id, str(row["stage"]), request_json))
+        # The first linked request lends the job its identity: its span
+        # is stamped with that request's id and trace id, so the
+        # persisted trace artifact can claim the subtree.
+        payloads.append((
+            job_id,
+            str(row["stage"]),
+            str(request_row["request_json"]),
+            int(request_row["id"]),
+            request_row["trace_id"],
+        ))
     if not payloads:
         return 0
     with span("service.dispatch", jobs=len(payloads)):
@@ -152,6 +169,53 @@ def _dispatch_wave(
             },
         )
     return len(payloads)
+
+
+def _request_trace_spans(request_id: int) -> list[Span]:
+    """Completed spans recorded on one request's behalf, oldest first.
+
+    The serve collector interleaves every request's spans; a request
+    claims the subtrees stamped with its id — its ``service.schedule``
+    span and each ``service.job.*`` span whose dispatch payload named
+    it.  Jobs deduped onto another request's execution carry *that*
+    request's id (the first-linked rule), so a fully-deduped request
+    honestly shows only its scheduling span: no work ran for it.
+    """
+    collector = get_collector()
+    if collector is None:
+        return []
+    return [
+        record for record in collector.spans
+        if record.attrs.get("request_id") == request_id
+        and (
+            record.name == "service.schedule"
+            or record.name.startswith("service.job.")
+        )
+    ]
+
+
+def _persist_trace(db: ResultsDB, row, request_id: int) -> str | None:
+    """Write one completed request's span trees beside the database.
+
+    Returns the artifact path for ``results.trace_path``, or ``None``
+    when nothing was recorded (no collector, or a trace-less request).
+    """
+    spans = _request_trace_spans(request_id)
+    if not spans:
+        return None
+    target = db.path.parent / "traces" / f"request-{request_id}.jsonl"
+    write_trace_artifact(
+        target,
+        spans,
+        trace_id=str(row["trace_id"] or ""),
+        meta={
+            "request_id": request_id,
+            "benchmark": str(row["benchmark"]),
+            "scale": float(row["scale"]),
+        },
+    )
+    counter("service.traces.persisted")
+    return str(target)
 
 
 def _finalize_requests(db: ResultsDB, store: ArtifactStore) -> int:
@@ -185,7 +249,11 @@ def _finalize_requests(db: ResultsDB, store: ArtifactStore) -> int:
                 counter("service.requests.failed")
             else:
                 request = decode_request(row["request_json"])
-                db.record_result(request_id, assemble_result(request, store))
+                db.record_result(
+                    request_id,
+                    assemble_result(request, store),
+                    trace_path=_persist_trace(db, row, request_id),
+                )
                 db.finish_request(request_id, "completed")
                 counter("service.requests.completed")
         settled += 1
@@ -199,6 +267,7 @@ def serve(
     poll_seconds: float = 1.0,
     idle_limit: int | None = None,
     store: ArtifactStore | None = None,
+    on_drain: Callable[[ResultsDB], None] | None = None,
 ) -> dict[str, Any]:
     """Run the dispatcher loop against one results database.
 
@@ -211,15 +280,26 @@ def serve(
         poll_seconds: sleep between empty polls in daemon mode.
         idle_limit: stop after this many consecutive empty polls
             (``None`` = poll forever); ignored when ``once`` is set.
+        on_drain: called with the open database each time the queue
+            drains after progress was made (the ``serve --report`` hook:
+            the CLI passes a report regenerator; keeping it a callback
+            keeps this module from importing :mod:`repro.report`).
 
     Returns:
         The final :meth:`~repro.service.db.ResultsDB.counts` summary,
         plus ``db_path``, ``schema_version`` and the tick/idle tallies.
+
+    A collector is installed for the duration of the loop when none is
+    active: job span trees and their counters must merge somewhere for
+    per-request traces to be persisted, with or without ``--trace``.
     """
     live_store = store if store is not None else get_store()
     ticks = 0
     idle = 0
-    with ResultsDB(db_path) as db:
+    dirty = False
+    with ResultsDB(db_path) as db, ExitStack() as stack:
+        if get_collector() is None:
+            stack.enter_context(collecting())
         with span("service.serve", db=str(db.path), once=once):
             recovered = db.recover_running_jobs()
             if recovered:
@@ -230,8 +310,13 @@ def serve(
                 progressed += _finalize_requests(db, live_store)
                 ticks += 1
                 if progressed:
+                    dirty = True
                     idle = 0
                     continue
+                if dirty and on_drain is not None:
+                    with span("service.on_drain"):
+                        on_drain(db)
+                    dirty = False
                 if once:
                     break
                 idle += 1

@@ -42,7 +42,7 @@ DEFAULT_DB_PATH = Path.home() / ".cache" / "megsim" / "service.sqlite3"
 
 #: Current schema version; fresh databases are created at this version
 #: and older files are migrated forward on open.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Forward migrations: version -> DDL statements producing it from the
 #: previous version.  Append-only — never edit a shipped entry; add a
@@ -110,6 +110,15 @@ MIGRATIONS: dict[int, tuple[str, ...]] = {
         "CREATE INDEX idx_jobs_status ON jobs(status)",
         "CREATE INDEX idx_requests_status ON requests(status)",
         "CREATE INDEX idx_requests_fingerprint ON requests(fingerprint)",
+    ),
+    # v3: end-to-end tracing — each request records the trace id its
+    # submission minted (stamped on every span the request's jobs run
+    # under), and each result can point at the persisted span-tree
+    # artifact ``megsim report`` renders.  Both nullable: rows written
+    # by older builds simply have no trace.
+    3: (
+        "ALTER TABLE requests ADD COLUMN trace_id TEXT",
+        "ALTER TABLE results ADD COLUMN trace_path TEXT",
     ),
 }
 
@@ -249,16 +258,28 @@ class ResultsDB:
         scale: float,
         seed: int,
         request_json: str,
+        trace_id: str | None = None,
     ) -> int:
-        """Record a new pending request; returns its id."""
+        """Record a new pending request; returns its id.
+
+        ``trace_id`` names the trace every span recorded on this
+        request's behalf will carry (see ``repro.obs.new_trace_id``);
+        submissions from older callers may omit it.  The column is only
+        named when a value is given, so inserts keep working against
+        pre-v3 files materialized by tests.
+        """
+        columns = "fingerprint, benchmark, scale, seed, request_json, " \
+                  "status, submitted_at"
+        values = [fingerprint, benchmark, scale, seed, request_json,
+                  "pending", wall_clock()]
+        if trace_id is not None:
+            columns += ", trace_id"
+            values.append(trace_id)
         with self._conn:
             cursor = self._conn.execute(
-                "INSERT INTO requests "
-                "(fingerprint, benchmark, scale, seed, request_json, "
-                " status, submitted_at) "
-                "VALUES (?, ?, ?, ?, ?, 'pending', ?)",
-                (fingerprint, benchmark, scale, seed, request_json,
-                 wall_clock()),
+                f"INSERT INTO requests ({columns}) "
+                f"VALUES ({', '.join('?' for _ in values)})",
+                values,
             )
         return int(cursor.lastrowid)
 
@@ -449,6 +470,20 @@ class ResultsDB:
         ).fetchone()
         return None if row is None else str(row["request_json"])
 
+    def job_request_row(self, job_id: int) -> sqlite3.Row | None:
+        """The full row of *some* request linked to a job.
+
+        Same first-linked-request rule as :meth:`job_request_json`; used
+        by the dispatcher to stamp a job's spans with the request id and
+        trace id it runs on behalf of.
+        """
+        return self._conn.execute(
+            "SELECT requests.* FROM requests "
+            "JOIN request_jobs ON request_jobs.request_id = requests.id "
+            "WHERE request_jobs.job_id = ? ORDER BY requests.id LIMIT 1",
+            (job_id,),
+        ).fetchone()
+
     def jobs_for_request(self, request_id: int) -> list[sqlite3.Row]:
         """Every job linked to a request, in stage-graph insertion order."""
         return self._conn.execute(
@@ -460,18 +495,44 @@ class ResultsDB:
 
     # -- results -------------------------------------------------------
 
-    def record_result(self, request_id: int, metrics: dict) -> None:
-        """Store (or replace) the metrics document of a completed request."""
-        with self._conn:
-            self._conn.execute(
+    def record_result(
+        self,
+        request_id: int,
+        metrics: dict,
+        trace_path: str | None = None,
+    ) -> None:
+        """Store (or replace) the metrics document of a completed request.
+
+        ``trace_path`` points at the persisted ``megsim-trace`` span-tree
+        artifact of the serve pass that completed the request (rendered
+        by ``megsim report``), when one was written.  As with
+        ``insert_request``, the column is only named when a value is
+        given, so pre-v3 files stay writable.
+        """
+        if trace_path is None:
+            statement = (
                 "INSERT INTO results (request_id, metrics_json, recorded_at) "
                 "VALUES (?, ?, ?) "
                 "ON CONFLICT(request_id) DO UPDATE SET "
                 " metrics_json = excluded.metrics_json, "
-                " recorded_at = excluded.recorded_at",
-                (request_id, json.dumps(metrics, sort_keys=True),
-                 wall_clock()),
+                " recorded_at = excluded.recorded_at"
             )
+            values = (request_id, json.dumps(metrics, sort_keys=True),
+                      wall_clock())
+        else:
+            statement = (
+                "INSERT INTO results "
+                "(request_id, metrics_json, recorded_at, trace_path) "
+                "VALUES (?, ?, ?, ?) "
+                "ON CONFLICT(request_id) DO UPDATE SET "
+                " metrics_json = excluded.metrics_json, "
+                " recorded_at = excluded.recorded_at, "
+                " trace_path = excluded.trace_path"
+            )
+            values = (request_id, json.dumps(metrics, sort_keys=True),
+                      wall_clock(), trace_path)
+        with self._conn:
+            self._conn.execute(statement, values)
 
     def result(self, request_id: int) -> dict | None:
         """The metrics document of one request, or ``None``."""
@@ -497,7 +558,8 @@ class ResultsDB:
             params.append(status)
         where = ("WHERE " + " AND ".join(clauses)) if clauses else ""
         rows = self._conn.execute(
-            "SELECT requests.*, results.metrics_json, results.recorded_at "
+            "SELECT requests.*, results.metrics_json, results.recorded_at, "
+            " results.trace_path "
             "FROM requests LEFT JOIN results "
             " ON results.request_id = requests.id "
             f"{where} ORDER BY requests.id DESC LIMIT ?",
@@ -515,6 +577,40 @@ class ResultsDB:
         return out
 
     # -- summaries -----------------------------------------------------
+
+    def dedup_stats(self) -> dict:
+        """How much work the scheduler's dedup machinery avoided.
+
+        Returns job tallies grouped by provenance (``sources``: the
+        ``source`` column crossed with status — ``store`` rows were
+        adopted from the artifact store without running) and the
+        link-sharing view (``links`` request↔job edges over ``jobs``
+        distinct jobs; ``shared_jobs`` counts jobs serving more than one
+        request — each extra link is one execution dedup saved).
+        """
+        sources: dict[str, dict[str, int]] = {}
+        for row in self._conn.execute(
+            "SELECT source, status, COUNT(*) AS n FROM jobs "
+            "GROUP BY source, status ORDER BY source, status"
+        ):
+            sources.setdefault(str(row["source"]), {})[str(row["status"])] = (
+                int(row["n"])
+            )
+        links = self._conn.execute(
+            "SELECT COUNT(*) AS n FROM request_jobs"
+        ).fetchone()
+        jobs = self._conn.execute("SELECT COUNT(*) AS n FROM jobs").fetchone()
+        shared = self._conn.execute(
+            "SELECT COUNT(*) AS n FROM ("
+            " SELECT job_id FROM request_jobs "
+            " GROUP BY job_id HAVING COUNT(*) > 1)"
+        ).fetchone()
+        return {
+            "sources": sources,
+            "links": int(links["n"]),
+            "jobs": int(jobs["n"]),
+            "shared_jobs": int(shared["n"]),
+        }
 
     def counts(self) -> dict:
         """Request/job tallies by status plus totals — ``megsim status``."""

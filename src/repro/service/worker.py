@@ -42,20 +42,30 @@ def _worker_store(root: str | None) -> ArtifactStore:
     return store
 
 
-def execute_job(payload: tuple[int, str, str]) -> tuple[int, str | None]:
+def execute_job(
+    payload: tuple[int, str, str, int | None, str | None],
+) -> tuple[int, str | None]:
     """Run one stage job; returns ``(job_id, error-or-None)``.
 
-    The payload carries ``(job_id, stage name, request_json)``; the
+    The payload carries ``(job_id, stage name, request_json,
+    request_id, trace_id)`` — the last two are the identity of the
+    (first linked) request the job runs on behalf of, stamped on the
+    job's span so a persisted trace can be joined back to its request
+    even though one dispatch wave mixes jobs of many requests.  The
     database path and store root come through the shared worker state
     (``parallel_map(..., state={"db_path": ..., "store_root": ...})``).
     The job's terminal transition is written here, by the worker.
     """
-    job_id, stage_name, request_json = payload
+    job_id, stage_name, request_json, request_id, trace_id = payload
     store = _worker_store(get_state("store_root"))
     request = decode_request(request_json)
     error: str | None = None
     with span(
-        f"service.job.{stage_name}", benchmark=request.alias, job_id=job_id
+        f"service.job.{stage_name}",
+        benchmark=request.alias,
+        job_id=job_id,
+        request_id=request_id,
+        trace_id=trace_id,
     ):
         try:
             materialize_stage(request, stage_name, store=store)

@@ -1,0 +1,42 @@
+"""`render_report`: the --profile text summary's histogram section."""
+
+from __future__ import annotations
+
+from repro.obs import collecting, observe, render_report, span
+
+
+def _collector_with_histograms(count):
+    with collecting() as collector:
+        with span("work"):
+            for index in range(count):
+                for value in (1.0, 2.0, 4.0, 100.0):
+                    observe(f"metric.{index:03d}", value)
+    return collector
+
+
+def test_histogram_section_quotes_p95(capsys):
+    report = render_report(_collector_with_histograms(1))
+    (header,) = [l for l in report.splitlines() if l.startswith("histogram")]
+    assert header.split() == [
+        "histogram", "count", "mean", "p50", "p90", "p95", "p99", "max",
+    ]
+    (row,) = [l for l in report.splitlines() if l.startswith("metric.000")]
+    fields = row.split()
+    assert fields[1] == "4"  # count
+    assert fields[-1] == "100"  # exact maximum
+    # p95 over 4 samples lands on the top sample by nearest rank.
+    assert fields[5] == "100"
+
+
+def test_histogram_section_truncates_past_top():
+    report = render_report(_collector_with_histograms(7), top=5)
+    shown = [l for l in report.splitlines() if l.startswith("metric.")]
+    assert len(shown) == 5
+    assert "... 2 more histogram(s)" in report
+
+
+def test_no_histograms_no_section():
+    with collecting() as collector:
+        with span("work"):
+            pass
+    assert "histogram" not in render_report(collector)

@@ -1,0 +1,238 @@
+"""Span-tree round trips: dicts, event streams, trace artifacts.
+
+The contract under test (docs/observability.md, "Trace IDs and the
+report"): unlike `ObsBuffer` adoption, these round trips are faithful —
+ids, parent links, attrs and per-span counter/gauge attribution survive
+a trip through JSON exactly, whether the tree travels as a nested
+document, as a JSONL event stream, or as a persisted `megsim-trace`
+artifact.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import TraceError
+from repro.obs import (
+    Collector,
+    JsonlSink,
+    collecting,
+    counter,
+    gauge,
+    get_collector,
+    new_trace_id,
+    read_trace_artifact,
+    span,
+    span_from_dict,
+    span_to_dict,
+    spans_from_events,
+    write_trace_artifact,
+)
+from repro.parallel import ParallelConfig, parallel_map
+
+
+def read_events(path):
+    with open(path, encoding="utf-8") as stream:
+        return [json.loads(line) for line in stream]
+
+
+def _build_tree():
+    """One collector run with nesting, attrs, counters and gauges."""
+    with collecting() as collector:
+        with span("outer", alias="hcr", scale=0.1):
+            counter("frames", 40)
+            with span("inner", stage="plan"):
+                gauge("cycles", 1.5e9)
+                counter("frames", 2)
+            with span("inner", stage="estimate"):
+                pass
+    return collector.roots[0]
+
+
+class TestSpanDictRoundTrip:
+    def test_round_trip_is_identical(self):
+        root = _build_tree()
+        rebuilt = span_from_dict(span_to_dict(root))
+        assert span_to_dict(rebuilt) == span_to_dict(root)
+
+    def test_ids_parents_and_attrs_survive(self):
+        root = _build_tree()
+        rebuilt = span_from_dict(span_to_dict(root))
+        assert rebuilt.span_id == root.span_id
+        assert rebuilt.parent_id is None
+        assert rebuilt.attrs == {"alias": "hcr", "scale": 0.1}
+        assert [c.span_id for c in rebuilt.children] == [
+            c.span_id for c in root.children
+        ]
+        assert all(
+            c.parent_id == root.span_id for c in rebuilt.children
+        )
+        assert rebuilt.children[0].gauges == {"cycles": 1.5e9}
+        assert rebuilt.children[0].counters == {"frames": 2.0}
+
+    def test_rebuilt_spans_are_rebased(self):
+        root = _build_tree()
+        rebuilt = span_from_dict(span_to_dict(root))
+        assert rebuilt.started == 0.0
+        assert rebuilt.elapsed_seconds == root.elapsed_seconds
+
+    def test_open_span_is_rejected(self):
+        collector = Collector()
+        record = collector.start_span("open")
+        with pytest.raises(TraceError, match="still open"):
+            span_to_dict(record)
+
+    def test_malformed_document_is_rejected(self):
+        with pytest.raises(TraceError, match="malformed"):
+            span_from_dict({"attrs": {}})  # no name
+
+
+class TestSpansFromEvents:
+    def test_rebuilds_collector_roots_exactly(self, tmp_path):
+        trace_file = tmp_path / "trace.jsonl"
+        with collecting(sink=JsonlSink(trace_file)) as collector:
+            with span("outer", alias="hcr"):
+                counter("frames", 40)
+                with span("inner"):
+                    gauge("cycles", 2.0)
+            with span("second_root"):
+                pass
+        collector.close()
+
+        rebuilt = spans_from_events(read_events(trace_file))
+        assert [span_to_dict(r) for r in rebuilt] == [
+            span_to_dict(r) for r in collector.roots
+        ]
+
+    def test_counter_events_attribute_to_open_spans(self):
+        events = [
+            {"type": "span_start", "span_id": 1, "parent_id": None,
+             "name": "root", "attrs": {}},
+            {"type": "counter", "span_id": 1, "name": "hits", "delta": 2.0},
+            {"type": "counter", "span_id": 1, "name": "hits", "delta": 3.0},
+            {"type": "gauge", "span_id": 1, "name": "level", "value": 7.0},
+            {"type": "span_end", "span_id": 1, "name": "root",
+             "elapsed_seconds": 0.5},
+        ]
+        (root,) = spans_from_events(events)
+        # span_end carried no aggregates; the streamed events supplied them.
+        assert root.counters == {"hits": 5.0}
+        assert root.gauges == {"level": 7.0}
+
+    def test_unclosed_spans_are_dropped(self):
+        events = [
+            {"type": "span_start", "span_id": 1, "parent_id": None,
+             "name": "crashed", "attrs": {}},
+            {"type": "span_start", "span_id": 2, "parent_id": 1,
+             "name": "child", "attrs": {}},
+        ]
+        assert spans_from_events(events) == []
+
+    def test_unknown_event_types_are_ignored(self):
+        events = [
+            {"type": "manifest", "manifest": {}},
+            {"type": "span_start", "span_id": 1, "parent_id": None,
+             "name": "root", "attrs": {}},
+            {"type": "histogram", "name": "h", "state": {}},
+            {"type": "span_end", "span_id": 1, "name": "root",
+             "elapsed_seconds": 0.1},
+        ]
+        (root,) = spans_from_events(events)
+        assert root.name == "root"
+
+
+class TestTraceArtifact:
+    def test_write_read_round_trip(self, tmp_path):
+        root = _build_tree()
+        trace_id = new_trace_id()
+        target = write_trace_artifact(
+            tmp_path / "traces" / "request-1.jsonl", [root], trace_id,
+            meta={"request_id": 1, "benchmark": "hcr"},
+        )
+        loaded = read_trace_artifact(target)
+        assert loaded["trace_id"] == trace_id
+        assert loaded["meta"] == {"request_id": 1, "benchmark": "hcr"}
+        assert [span_to_dict(r) for r in loaded["roots"]] == [span_to_dict(root)]
+
+    def test_generator_roots_are_materialized(self, tmp_path):
+        root = _build_tree()
+        target = write_trace_artifact(
+            tmp_path / "t.jsonl", (r for r in [root]), "abc123",
+        )
+        header = json.loads(target.read_text(encoding="utf-8").splitlines()[0])
+        assert header["roots"] == 1
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(TraceError, match="cannot read"):
+            read_trace_artifact(tmp_path / "nope.jsonl")
+
+    def test_wrong_schema_raises(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"schema": "megsim-bench", "version": 1}\n')
+        with pytest.raises(TraceError, match="schema"):
+            read_trace_artifact(bad)
+
+    def test_wrong_version_raises(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"schema": "megsim-trace", "version": 99}\n')
+        with pytest.raises(TraceError, match="version"):
+            read_trace_artifact(bad)
+
+    def test_empty_file_raises(self, tmp_path):
+        bad = tmp_path / "empty.jsonl"
+        bad.write_text("")
+        with pytest.raises(TraceError, match="empty"):
+            read_trace_artifact(bad)
+
+
+def _spanning_worker(item: int) -> str:
+    """Pool task: record a span, report the worker collector's trace id."""
+    with span("worker.unit", item=item):
+        counter("worker.items", 1)
+    return get_collector().trace_id
+
+
+class TestTraceIdPropagation:
+    def test_collector_stamps_trace_id_on_every_event(self, tmp_path):
+        trace_file = tmp_path / "trace.jsonl"
+        with collecting(sink=JsonlSink(trace_file), trace_id="feed") as col:
+            with span("outer"):
+                counter("hits", 1)
+        col.close()
+        events = read_events(trace_file)
+        assert events, "sink saw no events"
+        assert all(event["trace_id"] == "feed" for event in events)
+
+    def test_fresh_collectors_get_distinct_ids(self):
+        assert Collector().trace_id != Collector().trace_id
+        assert len(new_trace_id()) == 16
+
+    def test_workers_inherit_the_parent_trace_id(self):
+        with collecting() as collector:
+            with span("parent"):
+                worker_ids = parallel_map(
+                    _spanning_worker, [0, 1, 2],
+                    parallel=ParallelConfig(jobs=2),
+                )
+        assert worker_ids == [collector.trace_id] * 3
+
+    def test_adopted_spans_carry_deterministic_worker_labels(self):
+        with collecting() as collector:
+            with span("parent"):
+                parallel_map(
+                    _spanning_worker, [0, 1, 2],
+                    parallel=ParallelConfig(jobs=2),
+                )
+        adopted = [r for r in collector.spans if r.name == "worker.unit"]
+        assert sorted(r.attrs["worker"] for r in adopted) == [
+            "task:0", "task:1", "task:2",
+        ]
+
+    def test_serial_fallback_does_not_inject_worker_labels(self):
+        with collecting() as collector:
+            with span("parent"):
+                parallel_map(_spanning_worker, [0], parallel=ParallelConfig())
+        (unit,) = [r for r in collector.spans if r.name == "worker.unit"]
+        assert "worker" not in unit.attrs

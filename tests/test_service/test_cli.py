@@ -1,4 +1,4 @@
-"""The service CLI surface: serve / submit / status / runs / --db."""
+"""The service CLI surface: serve / submit / status / runs / report / --db."""
 
 from __future__ import annotations
 
@@ -40,6 +40,49 @@ def test_submit_serve_status_runs_round_trip(cli_env, capsys):
     out = capsys.readouterr().out
     assert "bbr1" in out
     assert "completed" in out
+
+
+def test_report_round_trip(cli_env, capsys):
+    """submit → serve → report: the page renders the drained archive,
+    byte-identically across renders, and --json exposes the document."""
+    assert main(["submit", "bbr1", "--scale", "0.02"]) == 0
+    assert main(["serve", "--once"]) == 0
+    capsys.readouterr()
+
+    first = cli_env / "report1.html"
+    second = cli_env / "report2.html"
+    assert main(["report", "--out", str(first)]) == 0
+    assert "wrote report to" in capsys.readouterr().out
+    assert main(["report", "--out", str(second)]) == 0
+    capsys.readouterr()
+    assert first.read_bytes() == second.read_bytes()
+    page = first.read_text(encoding="utf-8")
+    assert "bbr1" in page
+    assert "Request trace" in page
+
+    assert main(["report", "--json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["schema"] == "megsim-report"
+    assert document["service"]["counts"]["requests"]["completed"] == 1
+    assert document["service"]["trace"]["request_id"] == 1
+
+
+def test_report_without_database_renders_placeholders(cli_env, capsys):
+    target = cli_env / "empty.html"
+    assert main(["report", "--out", str(target)]) == 0
+    capsys.readouterr()
+    page = target.read_text(encoding="utf-8")
+    assert "no results database" in page
+
+
+def test_serve_report_hook_writes_the_page(cli_env, capsys):
+    assert main(["submit", "bbr1", "--scale", "0.02"]) == 0
+    target = cli_env / "dash.html"
+    assert main(["serve", "--once", "--report", str(target)]) == 0
+    out = capsys.readouterr().out
+    assert f"report: {target}" in out
+    assert target.is_file()
+    assert "Experiment service" in target.read_text(encoding="utf-8")
 
 
 def test_status_json_document(cli_env, capsys):

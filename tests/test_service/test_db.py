@@ -65,6 +65,90 @@ def test_v1_to_v2_migration_preserves_rows(tmp_path):
         assert db.job(job_id)["attempts"] == 1
 
 
+def test_v2_to_v3_migration_preserves_rows(tmp_path):
+    """A v2 file (pre-trace build) upgrades in place: rows intact, the
+    trace columns appear NULL, and new writes may fill them."""
+    path = tmp_path / "svc.sqlite3"
+    with ResultsDB(path, target_version=2) as db:
+        assert db.schema_version() == 2
+        request_id = db.insert_request("fp-req", "bbr1", 0.05, 1234, "{}")
+        db.claim_request(request_id)
+        db.record_result(request_id, {"relative_errors": {}})
+        db.finish_request(request_id, "completed")
+        columns = {
+            row["name"]
+            for row in db._conn.execute("PRAGMA table_info(requests)")
+        }
+        assert "trace_id" not in columns
+
+    with ResultsDB(path) as db:
+        assert db.schema_version() == SCHEMA_VERSION
+        row = db.request(request_id)
+        assert row["benchmark"] == "bbr1"
+        assert row["trace_id"] is None  # the v3 column, unfilled
+        (run,) = db.runs()
+        assert run["trace_path"] is None
+        # New writes can use the migrated columns.
+        second = db.insert_request("fp2", "hwh", 0.1, 1, "{}",
+                                   trace_id="abcd" * 4)
+        db.claim_request(second)
+        db.record_result(second, {}, trace_path="/tmp/t.jsonl")
+        db.finish_request(second, "completed")
+        assert db.request(second)["trace_id"] == "abcd" * 4
+        assert db.runs(benchmark="hwh")[0]["trace_path"] == "/tmp/t.jsonl"
+
+
+def test_pre_v3_files_stay_writable_without_trace_values(tmp_path):
+    """Writers that omit trace values never name the v3 columns, so a
+    file pinned at an older schema accepts them unchanged."""
+    with ResultsDB(tmp_path / "svc.sqlite3", target_version=1) as db:
+        request_id = db.insert_request("fp", "asp", 0.1, 1, "{}")
+        assert db.request(request_id)["benchmark"] == "asp"
+    with ResultsDB(tmp_path / "v2.sqlite3", target_version=2) as db:
+        request_id = db.insert_request("fp", "asp", 0.1, 1, "{}")
+        db.claim_request(request_id)
+        db.record_result(request_id, {"ok": True})
+        assert db.result(request_id) == {"ok": True}
+
+
+def test_job_request_row_picks_the_first_linked_request(tmp_path):
+    """A shared job borrows its identity from the first request that
+    linked it — lowest request id wins, deterministically."""
+    with ResultsDB(tmp_path / "svc.sqlite3") as db:
+        first = db.insert_request("fp-a", "bbr1", 0.1, 1, "{}",
+                                  trace_id="aaaa")
+        second = db.insert_request("fp-b", "bbr1", 0.1, 1, "{}",
+                                   trace_id="bbbb")
+        job_id, _ = db.upsert_job("fp-job", "trace", deps=[])
+        db.link_request_job(second, job_id, "trace")
+        db.link_request_job(first, job_id, "trace")
+        row = db.job_request_row(job_id)
+        assert row["id"] == first
+        assert row["trace_id"] == "aaaa"
+        assert db.job_request_row(job_id + 999) is None
+
+
+def test_dedup_stats_summarizes_sources_and_sharing(tmp_path):
+    with ResultsDB(tmp_path / "svc.sqlite3") as db:
+        first = db.insert_request("fp-a", "bbr1", 0.1, 1, "{}")
+        second = db.insert_request("fp-b", "bbr1", 0.1, 1, "{}")
+        shared, _ = db.upsert_job("fp-shared", "trace", deps=[],
+                                  status="done")
+        private, _ = db.upsert_job("fp-private", "profile", deps=[])
+        adopted, _ = db.upsert_job("fp-store", "plan", deps=[],
+                                   status="done", source="store")
+        db.link_request_job(first, shared, "trace")
+        db.link_request_job(second, shared, "trace")
+        db.link_request_job(first, private, "profile")
+        stats = db.dedup_stats()
+    assert stats["sources"]["computed"]["done"] == 1
+    assert stats["sources"]["computed"]["pending"] == 1
+    assert stats["sources"]["store"]["done"] == 1
+    assert stats["jobs"] == 3
+    assert stats["links"] == 3
+    assert stats["shared_jobs"] == 1
+
+
 def test_migration_is_idempotent_across_reopens(tmp_path):
     path = tmp_path / "svc.sqlite3"
     with ResultsDB(path) as db:

@@ -189,6 +189,85 @@ def test_failed_request_carries_the_job_error(store, db_path, monkeypatch):
         assert db.result(ids[0]) is None
 
 
+def test_serve_persists_request_traces(store, db_path):
+    """Completing a request writes its span tree beside the database:
+    `results.trace_path` points at a megsim-trace artifact whose header
+    and every recorded span answer to the request's trace id."""
+    from repro.obs import read_trace_artifact
+
+    ids = _submit(db_path)
+    serve(db_path, once=True)  # no outer collector: serve installs one
+
+    with ResultsDB(db_path) as db:
+        (run,) = db.runs()
+        assert run["id"] == ids[0]
+        assert run["trace_id"], "submission minted no trace id"
+        assert run["trace_path"], "finalization persisted no trace"
+
+    artifact = read_trace_artifact(run["trace_path"])
+    assert artifact["trace_id"] == run["trace_id"]
+    assert artifact["meta"]["request_id"] == ids[0]
+    names = sorted(root.name for root in artifact["roots"])
+    assert names == sorted(
+        ["service.schedule"] + [f"service.job.{s.name}" for s in STAGES]
+    )
+    for root in artifact["roots"]:
+        if root.name == "service.schedule":
+            continue
+        assert root.attrs["trace_id"] == run["trace_id"], root.name
+        assert root.attrs["request_id"] == ids[0], root.name
+
+
+def test_job_spans_carry_the_request_trace_id(store, db_path):
+    """The acceptance criterion: under an ambient collector, every
+    executed job's span links back to the request that caused it."""
+    ids = _submit(db_path)
+    with ResultsDB(db_path) as db:
+        trace_id = db.request(ids[0])["trace_id"]
+
+    with collecting() as collector:
+        serve(db_path, once=True)
+
+    job_spans = [
+        record for record in collector.spans
+        if record.name.startswith("service.job.")
+    ]
+    assert len(job_spans) == len(STAGES)
+    for record in job_spans:
+        assert record.attrs["trace_id"] == trace_id
+        assert record.attrs["request_id"] == ids[0]
+
+
+def test_deduped_resubmission_trace_is_schedule_only(store, db_path):
+    """A fully-deduped request executes nothing, so its persisted trace
+    honestly contains just the schedule span."""
+    from repro.obs import read_trace_artifact
+
+    _submit(db_path)
+    serve(db_path, once=True)
+    second = _submit(db_path)
+    serve(db_path, once=True)
+
+    with ResultsDB(db_path) as db:
+        run = [r for r in db.runs() if r["id"] == second[0]][0]
+    artifact = read_trace_artifact(run["trace_path"])
+    assert [root.name for root in artifact["roots"]] == ["service.schedule"]
+    assert artifact["trace_id"] == run["trace_id"]
+
+
+def test_on_drain_fires_after_progress_only(store, db_path):
+    """The `--report` hook: called once when a drain follows progress,
+    not at all when the queue was already empty."""
+    calls = []
+    _submit(db_path)
+    serve(db_path, once=True, on_drain=lambda db: calls.append(db.path))
+    assert len(calls) == 1
+    assert calls[0].samefile(db_path)
+
+    serve(db_path, once=True, on_drain=lambda db: calls.append(db.path))
+    assert len(calls) == 1  # empty queue: no progress, no regeneration
+
+
 def test_assemble_result_document_is_json_serializable(store):
     request = build_requests([ALIAS], scale=SCALE)[0]
     document = assemble_result(request, store)
