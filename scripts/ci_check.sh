@@ -240,3 +240,53 @@ for run in traced:
         stack.extend(record.children)
 print(f"report trace lineage: OK ({len(traced)} traced run(s))")
 EOF
+
+# The replay contract (docs/workloads.md): exporting a benchmark as a
+# megsim-workload capture and replaying it through the pipeline on a
+# fresh store must (a) fingerprint identically across two runs, (b)
+# recover the synthetic run's clustering exactly (adjusted rand index
+# 1.0), and (c) land every key-metric relative error within 0.5% of the
+# synthetic path's.
+echo "== replay determinism gate =="
+REPLAY_TMP="$(mktemp -d)"
+trap 'rm -rf "$GATE_TMP" "$STORE_TMP" "$SERVICE_TMP" "$REPLAY_TMP"' EXIT
+MEGSIM_STORE="$REPLAY_TMP/store" python -m repro export-trace hcr \
+    --scale 0.05 --out "$REPLAY_TMP/hcr.jsonl"
+MEGSIM_STORE="$REPLAY_TMP/store" python - "$REPLAY_TMP/hcr.jsonl" <<'EOF'
+import sys
+
+import numpy as np
+
+from repro.analysis.runner import evaluate_benchmark
+from repro.core import adjusted_rand_index
+from repro.pipeline import PipelineRequest, stage_fingerprints
+from repro.workloads.registry import register_workload_file
+
+capture = sys.argv[1]
+ref = register_workload_file(capture)
+first = stage_fingerprints(PipelineRequest.create(ref.name))
+second = stage_fingerprints(PipelineRequest.create(ref.name))
+assert first == second, "replay stage fingerprints drifted between runs"
+
+synthetic = evaluate_benchmark("hcr", scale=0.05)
+replayed = evaluate_benchmark(ref.name)
+
+
+def labels(plan):
+    out = np.zeros(plan.total_frames, dtype=np.int64)
+    for row, cluster in enumerate(plan.clusters):
+        out[list(cluster.members)] = row
+    return out
+
+
+ari = adjusted_rand_index(labels(synthetic.plan), labels(replayed.plan))
+assert ari == 1.0, f"replayed clustering diverged (rand index {ari})"
+for metric, error in replayed.relative_errors().items():
+    drift = abs(error - synthetic.relative_errors()[metric])
+    assert drift <= 0.005, (
+        f"{metric}: replay error {error} vs synthetic "
+        f"{synthetic.relative_errors()[metric]} (drift {drift})"
+    )
+print(f"replay determinism gate: OK (rand index {ari}, "
+      f"trace fingerprint {first['trace'][:12]})")
+EOF

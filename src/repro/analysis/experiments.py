@@ -484,6 +484,75 @@ def speedup(scale: float = 1.0) -> ExperimentResult:
 
 
 # ----------------------------------------------------------------------
+# Adversarial scripted workloads: stress the BIC k-selection.
+# ----------------------------------------------------------------------
+
+#: Worst tolerated estimated relative error (any key metric, any
+#: adversarial workload).  The paper's Table IV puts MEGsim's worst
+#: per-benchmark error near 4%; the hostile scripts must stay inside
+#: that envelope for the accuracy claim to survive adversarial phase
+#: structure.
+ADVERSARIAL_ENVELOPE = 0.04
+
+
+def adversarial(
+    scale: float = 1.0, envelope: float = ADVERSARIAL_ENVELOPE
+) -> ExperimentResult:
+    """Accuracy of MEGsim on the adversarial scripted catalog.
+
+    Evaluates every :mod:`repro.workloads.scripted` workload end to end
+    (oscillating, phase-flip and drifting scripts — each engineered to
+    mislead the BIC cluster-count search) and checks that the estimated
+    key metrics stay within the paper's accuracy envelope.
+
+    Raises:
+        AnalysisError: when any workload's worst key-metric relative
+            error exceeds ``envelope`` — a quiet accuracy collapse on
+            hostile phase structure must fail loudly.
+    """
+    from repro.workloads.scripted import scripted_keys
+
+    rows = []
+    data = {}
+    worst_key, worst_error = "", 0.0
+    for key in scripted_keys():
+        evaluation = evaluate_benchmark(key, scale=scale)
+        errors = evaluation.relative_errors()
+        max_error = max(abs(errors[m]) for m in KEY_METRICS)
+        data[key] = {
+            "errors": errors,
+            "max_rel_error": max_error,
+            "megsim_frames": evaluation.plan.selected_frame_count,
+            "reduction": evaluation.reduction_factor,
+        }
+        if max_error > worst_error:
+            worst_key, worst_error = key, max_error
+        rows.append([
+            key, str(evaluation.trace.frame_count),
+            str(evaluation.plan.selected_frame_count),
+            f"{evaluation.reduction_factor:.0f}x",
+            _pct(max_error),
+        ])
+    if worst_error > envelope:
+        raise AnalysisError(
+            f"adversarial workload {worst_key!r} broke the accuracy "
+            f"envelope: max key-metric relative error {worst_error:.2%} "
+            f"exceeds {envelope:.2%}"
+        )
+    report = render_table(
+        ["workload", "frames", "MEGsim frames", "reduction", "max err"],
+        rows,
+        title=(
+            f"Adversarial scripted workloads (scale={scale}): estimated "
+            f"error under hostile phase structure (envelope {envelope:.0%})"
+        ),
+    )
+    data["max_rel_error"] = worst_error
+    data["envelope"] = envelope
+    return ExperimentResult("adversarial", data, report)
+
+
+# ----------------------------------------------------------------------
 # Backend parity: the vector cycle-sim backend vs the scalar oracle.
 # ----------------------------------------------------------------------
 
@@ -553,6 +622,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig7": fig7_accuracy,
     "table4": table4_random,
     "speedup": speedup,
+    "adversarial": adversarial,
     "backend_compare": backend_compare,
 }
 

@@ -197,6 +197,21 @@ def _extract_speedup(result: ExperimentResult) -> BenchOutcome:
     )
 
 
+def _extract_adversarial(result: ExperimentResult) -> BenchOutcome:
+    rows = _per_alias(result.data)
+    return BenchOutcome(
+        metrics={
+            "max_rel_error": [row["max_rel_error"] for row in rows.values()],
+            "reduction": [row["reduction"] for row in rows.values()],
+        },
+        # The worst key-metric error across the whole catalog: the value
+        # --compare gates, so an accuracy collapse on hostile phase
+        # structure regresses the suite even inside the hard envelope.
+        accuracy={"adversarial.max_rel_error": result.data["max_rel_error"]},
+        info={"envelope": result.data["envelope"]},
+    )
+
+
 def _extract_backend_compare(result: ExperimentResult) -> BenchOutcome:
     rows = _per_alias(result.data)
     return BenchOutcome(
@@ -266,6 +281,13 @@ BENCHES: dict[str, BenchSpec] = {
             name="speedup", experiment="speedup", suites=("smoke", "full"),
             description="Headline wall-clock speedup: full vs MEGsim",
             extract=_extract_speedup,
+        ),
+        BenchSpec(
+            name="adversarial", experiment="adversarial",
+            suites=("smoke", "full"),
+            description="Adversarial scripted workloads inside the "
+                        "paper's accuracy envelope",
+            extract=_extract_adversarial,
         ),
         BenchSpec(
             name="parity", experiment="backend_compare",

@@ -77,6 +77,12 @@ from repro.benchmark_support import SUITE_SCALES, suite_scale
 from repro.gpu.config import CYCLE_BACKENDS, cycle_scope
 from repro.store import get_store, memory_store, store_scope
 from repro.workloads.benchmarks import benchmark_aliases, make_benchmark
+from repro.workloads.registry import (
+    BUILTIN_WORKLOADS,
+    get_workload,
+    register_workload_file,
+    workload_keys,
+)
 
 #: Subcommands that operate on the service results database.
 _SERVICE_COMMANDS = ("serve", "submit", "status", "runs", "report")
@@ -86,6 +92,15 @@ def _add_scale(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale", type=float, default=1.0,
         help="sequence-length scale (1.0 = the paper's frame counts)",
+    )
+
+
+def _add_workload(parser: argparse.ArgumentParser, help_text: str) -> None:
+    parser.add_argument(
+        "--workload", default=None, metavar="KEY|FILE",
+        help=help_text + " (a registry key from 'megsim workloads list', "
+             "or a megsim-workload v1 capture file, which is registered "
+             "on the fly)",
     )
 
 
@@ -163,6 +178,8 @@ def build_parser() -> argparse.ArgumentParser:
     run = commands.add_parser("run", help="run one experiment")
     run.add_argument("experiment", choices=sorted(EXPERIMENTS))
     _add_scale(run)
+    _add_workload(run, "evaluate this workload instead of the "
+                       "experiment's default (fig5/fig6 only)")
     _add_store(run)
     _add_backend(run)
     _add_obs(run)
@@ -174,21 +191,50 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend(everything)
     _add_obs(everything)
 
-    plan = commands.add_parser("plan", help="show a benchmark's sampling plan")
-    plan.add_argument("benchmark", choices=benchmark_aliases())
+    plan = commands.add_parser("plan", help="show a workload's sampling plan")
+    plan.add_argument("benchmark", nargs="?", default=None, metavar="WORKLOAD",
+                      help="workload registry key (see 'megsim workloads "
+                           "list'); alternative to --workload")
     _add_scale(plan)
+    _add_workload(plan, "workload to plan")
     _add_jobs(plan)
     _add_store(plan)
     _add_obs(plan)
 
     inspect = commands.add_parser(
-        "inspect", help="per-stage statistics of a benchmark"
+        "inspect", help="per-stage statistics of a workload"
     )
-    inspect.add_argument("benchmark", choices=benchmark_aliases())
+    inspect.add_argument("benchmark", nargs="?", default=None,
+                         metavar="WORKLOAD",
+                         help="workload registry key (see 'megsim workloads "
+                              "list'); alternative to --workload")
     _add_scale(inspect)
+    _add_workload(inspect, "workload to inspect")
     _add_store(inspect)
     _add_backend(inspect)
     _add_obs(inspect)
+
+    workloads = commands.add_parser(
+        "workloads", help="list or describe the workload registry"
+    )
+    workloads.add_argument("action", nargs="?", choices=("list", "describe"),
+                           default="list",
+                           help="list (the default): one line per registry "
+                                "key; describe: full details of one workload")
+    workloads.add_argument("key", nargs="?", default=None,
+                           help="registry key (required for describe)")
+
+    export = commands.add_parser(
+        "export-trace",
+        help="export a workload as a replayable megsim-workload v1 capture",
+    )
+    export.add_argument("benchmark", metavar="WORKLOAD",
+                        help="workload registry key to export")
+    export.add_argument("--out", required=True,
+                        help="capture output path (JSONL)")
+    _add_scale(export)
+    _add_store(export)
+    _add_obs(export)
 
     figures = commands.add_parser(
         "figures", help="write Figure 5/6 images (PGM/PPM)"
@@ -284,10 +330,11 @@ def build_parser() -> argparse.ArgumentParser:
     submit = commands.add_parser(
         "submit", help="queue benchmark evaluations for the service"
     )
-    submit.add_argument("benchmarks", nargs="*", metavar="BENCHMARK",
-                        help="benchmark aliases to evaluate "
-                             "(default: all of them); validated against "
-                             "the Table II registry at submit time")
+    submit.add_argument("benchmarks", nargs="*", metavar="WORKLOAD",
+                        help="workload keys to evaluate (default: every "
+                             "Table II benchmark); validated against the "
+                             "workload registry at submit time")
+    _add_workload(submit, "additional workload to queue")
     submit.add_argument("--suite", choices=sorted(SUITE_SCALES), default=None,
                         help="queue every benchmark at this suite's default "
                              "scale (an explicit --scale still wins)")
@@ -461,11 +508,53 @@ def _dispatch(args: argparse.Namespace) -> int:
     ambient default, which every :class:`PipelineRequest` created under
     the command picks up (``cycle_scope(None)`` is a no-op).
     """
+    _validate_scale(args)
     with cycle_scope(getattr(args, "backend", None)):
         if getattr(args, "no_store", False):
             with store_scope(memory_store()):
                 return _run_command(args)
         return _run_command(args)
+
+
+def _validate_scale(args: argparse.Namespace) -> None:
+    """Reject bad ``--scale`` values before any expensive work starts.
+
+    A non-positive scale is always an error; for a builtin workload the
+    scaled script is also dry-run, so a scale that would round a script
+    segment below 1 frame fails here with the flag named instead of
+    deep inside the generator.
+
+    Raises:
+        ConfigError: naming ``--scale``.
+    """
+    scale = getattr(args, "scale", None)
+    if scale is None:
+        return
+    if scale <= 0:
+        raise ConfigError(f"--scale must be > 0, got {scale}")
+    key = getattr(args, "workload", None) or getattr(args, "benchmark", None)
+    workload = BUILTIN_WORKLOADS.get(key) if isinstance(key, str) else None
+    if workload is not None and scale != 1.0:
+        try:
+            workload.spec.scaled(scale)
+        except ConfigError as exc:
+            raise ConfigError(f"--scale {scale}: {exc}") from exc
+
+
+def _resolve_workload_arg(value: str) -> str:
+    """Map a ``--workload`` value to a registry key.
+
+    A value naming an existing file is loaded as a ``megsim-workload``
+    capture and registered on the fly; anything else is treated as a
+    registry key (unknown keys fail downstream with the full key list).
+    """
+    if value in workload_keys():
+        return value
+    if Path(value).is_file():
+        ref = register_workload_file(value)
+        print(f"registered capture {value} as {ref.name}")
+        return ref.name
+    return value
 
 
 def _cache(args: argparse.Namespace) -> int:
@@ -508,6 +597,20 @@ def _run_command(args: argparse.Namespace) -> int:
     if args.command == "list":
         print("experiments:", ", ".join(EXPERIMENTS))
         print("benchmarks:", ", ".join(benchmark_aliases()))
+        print("workloads:", ", ".join(workload_keys()))
+        return 0
+
+    if args.command == "workloads":
+        return _workloads(args)
+
+    if args.command == "export-trace":
+        workload = get_workload(args.benchmark)
+        trace = workload.build(scale=args.scale)
+        from repro.workloads.replay import export_workload_file
+
+        digest = export_workload_file(trace, args.out)
+        print(f"wrote {trace.frame_count}-frame capture to {args.out} "
+              f"(content sha256 {digest[:12]})")
         return 0
 
     if args.command == "bench":
@@ -533,6 +636,13 @@ def _run_command(args: argparse.Namespace) -> int:
 
     if args.command == "run":
         kwargs = {} if args.experiment == "table1" else {"scale": args.scale}
+        if args.workload is not None:
+            if args.experiment not in ("fig5", "fig6"):
+                raise ConfigError(
+                    f"--workload only applies to the single-workload "
+                    f"experiments fig5 and fig6, not {args.experiment!r}"
+                )
+            kwargs["alias"] = _resolve_workload_arg(args.workload)
         result = run_experiment(args.experiment, **kwargs)
         print(result.report)
         return 0
@@ -575,13 +685,14 @@ def _run_command(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "plan":
-        trace = make_benchmark(args.benchmark, scale=args.scale)
+        key = _require_workload_key(args, "plan")
+        trace = get_workload(key).build(scale=args.scale)
         profile = profile_parallel(
             trace, parallel=ParallelConfig.from_cli(args.jobs)
         )
         plan = MEGsim().plan_from_profile(profile)
         print(
-            f"{args.benchmark}: {plan.total_frames} frames -> "
+            f"{key}: {plan.total_frames} frames -> "
             f"{plan.selected_frame_count} representatives "
             f"(reduction {plan.reduction_factor:.0f}x)"
         )
@@ -593,7 +704,7 @@ def _run_command(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "inspect":
-        _inspect(args.benchmark, args.scale)
+        _inspect(_require_workload_key(args, "inspect"), args.scale)
         return 0
 
     if args.command == "figures":
@@ -615,6 +726,53 @@ def _run_command(args: argparse.Namespace) -> int:
         return 0
 
     return 1  # unreachable: argparse enforces the command set
+
+
+def _require_workload_key(args: argparse.Namespace, command: str) -> str:
+    """The workload key a command operates on (positional or --workload).
+
+    Raises:
+        ConfigError: when neither was given, listing the registry keys.
+    """
+    if args.workload is not None:
+        return _resolve_workload_arg(args.workload)
+    if args.benchmark is not None:
+        return args.benchmark
+    raise ConfigError(
+        f"megsim {command} needs a workload: pass a key or --workload "
+        f"(available: {', '.join(workload_keys())})"
+    )
+
+
+def _workloads(args: argparse.Namespace) -> int:
+    """The ``megsim workloads`` subcommand: registry listing/details."""
+    if args.action == "list":
+        for key in workload_keys():
+            workload = get_workload(key)
+            print(f"{key:<12s} [{workload.kind:<9s}] {workload.describe()}")
+        return 0
+    # describe
+    if args.key is None:
+        raise ConfigError(
+            "megsim workloads describe needs a KEY "
+            f"(available: {', '.join(workload_keys())})"
+        )
+    workload = get_workload(args.key)
+    ref = workload.ref()
+    print(f"key        : {workload.key}")
+    print(f"kind       : {workload.kind}")
+    print(f"fingerprint: {ref.fingerprint}")
+    if ref.path is not None:
+        print(f"path       : {ref.path}")
+    print(f"describe   : {workload.describe()}")
+    trace_frames = getattr(getattr(workload, "spec", None), "frames", None)
+    if trace_frames is None:
+        trace_frames = getattr(
+            getattr(workload, "trace", None), "frame_count", None
+        )
+    if trace_frames is not None:
+        print(f"frames     : {trace_frames}")
+    return 0
 
 
 def _service(args: argparse.Namespace) -> int:
@@ -678,9 +836,10 @@ def _service(args: argparse.Namespace) -> int:
         else:
             scale = args.scale if args.scale is not None else 1.0
         options = None if args.seed is None else MEGsimOptions(seed=args.seed)
-        requests = build_requests(
-            list(args.benchmarks), scale=scale, options=options
-        )
+        keys = list(args.benchmarks)
+        if args.workload is not None:
+            keys.append(_resolve_workload_arg(args.workload))
+        requests = build_requests(keys, scale=scale, options=options)
         with ResultsDB(args.db) as db:
             ids = submit_requests(db, requests)
             for request, request_id in zip(requests, ids):

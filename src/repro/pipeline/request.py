@@ -1,9 +1,10 @@
 """The fully resolved input of one end-to-end evaluation.
 
 A :class:`PipelineRequest` pins down everything the six stages depend
-on: the benchmark alias, the sequence-length scale, the MEGsim knobs,
-the GPU configuration and the cycle-simulation execution backend.
-``None`` defaults are resolved at construction
+on: the workload (a registry key or replay capture, resolved to a
+:class:`~repro.workloads.base.WorkloadRef`), the sequence-length scale,
+the MEGsim knobs, the GPU configuration and the cycle-simulation
+execution backend.  ``None`` defaults are resolved at construction
 (:meth:`PipelineRequest.create`), so a request built with explicit
 paper defaults and one built with ``None`` fingerprint — and therefore
 cache — identically.
@@ -20,17 +21,29 @@ from repro.gpu.config import (
     default_config,
     default_cycle_config,
 )
+from repro.workloads.base import WorkloadRef
+from repro.workloads.benchmarks import BENCHMARKS
+from repro.workloads.registry import get_workload
 
 
 @dataclass(frozen=True)
 class PipelineRequest:
-    """Immutable description of one evaluation the pipeline can run."""
+    """Immutable description of one evaluation the pipeline can run.
+
+    ``workload`` stays ``None`` for the eight Table II synthetic
+    benchmarks — the alias alone identifies them, exactly as before the
+    registry existed, so their stage fingerprints (and every stored
+    artifact keyed on them) are byte-identical to pre-registry runs.
+    Scripted and replay workloads carry an explicit ref, which the trace
+    stage folds into its fingerprint.
+    """
 
     alias: str
     scale: float
     options: MEGsimOptions
     config: GPUConfig
     cycle: CycleConfig = field(default_factory=CycleConfig)
+    workload: WorkloadRef | None = None
 
     @classmethod
     def create(
@@ -40,8 +53,17 @@ class PipelineRequest:
         options: MEGsimOptions | None = None,
         config: GPUConfig | None = None,
         cycle: CycleConfig | None = None,
+        workload: WorkloadRef | None = None,
     ) -> "PipelineRequest":
         """Build a request, resolving ``None`` to the paper defaults.
+
+        ``alias`` accepts any workload registry key: synthetic aliases
+        pass through with ``workload=None``; scripted and replay keys
+        resolve through the registry into a :class:`WorkloadRef`
+        (raising :class:`~repro.errors.ConfigError`, with the full key
+        list, for unknown keys).  An explicit ``workload`` ref skips
+        resolution — used when rebuilding a request from a serialized
+        document whose capture may not be registered in this process.
 
         ``cycle=None`` resolves through the *ambient* cycle config
         (:func:`repro.gpu.config.default_cycle_config`), so a CLI-level
@@ -49,10 +71,13 @@ class PipelineRequest:
         resolved value is pinned into the request — and its stage
         fingerprints — here, keeping the stages themselves pure.
         """
+        if workload is None and alias not in BENCHMARKS:
+            workload = get_workload(alias).ref()
         return cls(
             alias=alias,
             scale=float(scale),
             options=options if options is not None else MEGsimOptions(),
             config=config if config is not None else default_config(),
             cycle=cycle if cycle is not None else default_cycle_config(),
+            workload=workload,
         )

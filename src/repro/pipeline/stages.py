@@ -35,7 +35,7 @@ from repro.pipeline.request import PipelineRequest
 from repro.scene.trace import WorkloadTrace
 from repro.store.fingerprint import fingerprint
 from repro.version import __version__
-from repro.workloads.benchmarks import make_benchmark
+from repro.workloads.registry import resolve_workload
 
 
 @dataclass(frozen=True)
@@ -69,7 +69,19 @@ class Stage:
 
 def _compute_trace(request: PipelineRequest, artifacts: dict) -> WorkloadTrace:
     with span("workload.generate", benchmark=request.alias, scale=request.scale):
-        return make_benchmark(request.alias, scale=request.scale)
+        workload = resolve_workload(request.workload, request.alias)
+        return workload.build(scale=request.scale)
+
+
+def _trace_params(request: PipelineRequest) -> dict:
+    # Synthetic benchmarks (workload=None) keep the exact pre-registry
+    # parameter shape, so their stage fingerprints — and every stored
+    # artifact keyed on them — remain byte-identical.  Only explicit
+    # workload refs add a key, and only via their path-free identity.
+    params = {"alias": request.alias, "scale": request.scale}
+    if request.workload is not None:
+        params["workload"] = request.workload.identity()
+    return params
 
 
 def _compute_profile(request: PipelineRequest, artifacts: dict) -> SequenceProfile:
@@ -118,7 +130,7 @@ STAGES: tuple[Stage, ...] = (
         version=1,
         requires=(),
         persist=True,
-        params=lambda request: {"alias": request.alias, "scale": request.scale},
+        params=_trace_params,
         compute=_compute_trace,
         encode=lambda trace: trace.to_dict(),
         decode=WorkloadTrace.from_dict,

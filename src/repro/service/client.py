@@ -22,6 +22,7 @@ from repro.pipeline.request import PipelineRequest
 from repro.service.codec import encode_request
 from repro.service.db import ResultsDB
 from repro.workloads.benchmarks import benchmark_aliases
+from repro.workloads.registry import workload_keys
 
 
 def build_requests(
@@ -30,23 +31,24 @@ def build_requests(
     options: MEGsimOptions | None = None,
     config: GPUConfig | None = None,
 ) -> list[PipelineRequest]:
-    """Resolve benchmark aliases into submission-ready requests.
+    """Resolve workload keys into submission-ready requests.
 
     An empty ``benchmarks`` list means *every* Table II benchmark (the
-    ``megsim submit --suite`` path).  Aliases are validated eagerly so a
-    typo fails at submit time, not inside the daemon.
+    ``megsim submit --suite`` path); scripted and replay workloads are
+    only ever submitted by explicit key.  Keys are validated eagerly so
+    a typo fails at submit time, not inside the daemon.
 
     Raises:
-        ConfigError: on an unknown benchmark alias.
+        ConfigError: on an unknown workload key.
     """
-    known = benchmark_aliases()
+    known = workload_keys()
     unknown = [alias for alias in benchmarks if alias not in known]
     if unknown:
         raise ConfigError(
-            f"unknown benchmark(s) {', '.join(unknown)}; "
+            f"unknown workload(s) {', '.join(unknown)}; "
             f"available: {', '.join(known)}"
         )
-    aliases = list(benchmarks) if benchmarks else list(known)
+    aliases = list(benchmarks) if benchmarks else list(benchmark_aliases())
     return [
         PipelineRequest.create(
             alias, scale=scale, options=options, config=config

@@ -23,12 +23,18 @@ from repro.errors import ServiceError
 from repro.gpu.config import CycleConfig, GPUConfig
 from repro.pipeline.request import PipelineRequest
 from repro.store import jsonable
+from repro.workloads.base import WorkloadRef
 
 #: Schema tag of the encoded request document.
 REQUEST_SCHEMA = "megsim-request"
 
 #: Bumped when the encoding changes incompatibly.
-REQUEST_SCHEMA_VERSION = 1
+#: v2 adds the ``workload`` ref (``None`` for synthetic benchmarks);
+#: v1 documents predate the registry and decode with ``workload=None``.
+REQUEST_SCHEMA_VERSION = 2
+
+#: Versions :func:`decode_request` still accepts.
+_READABLE_VERSIONS = (1, REQUEST_SCHEMA_VERSION)
 
 
 def encode_request(request: PipelineRequest) -> dict:
@@ -41,6 +47,9 @@ def encode_request(request: PipelineRequest) -> dict:
         "options": jsonable(request.options),
         "config": jsonable(request.config),
         "cycle": jsonable(request.cycle),
+        "workload": (
+            None if request.workload is None else jsonable(request.workload)
+        ),
     }
 
 
@@ -101,11 +110,12 @@ def decode_request(payload: dict | str) -> PipelineRequest:
             f"request document schema is {payload.get('schema')!r}, "
             f"expected {REQUEST_SCHEMA!r}"
         )
-    if payload.get("version") != REQUEST_SCHEMA_VERSION:
+    if payload.get("version") not in _READABLE_VERSIONS:
         raise ServiceError(
             f"request document version {payload.get('version')!r} is not "
-            f"the supported {REQUEST_SCHEMA_VERSION}"
+            f"among the supported {_READABLE_VERSIONS}"
         )
+    workload = payload.get("workload")
     try:
         return PipelineRequest(
             alias=str(payload["alias"]),
@@ -116,6 +126,11 @@ def decode_request(payload: dict | str) -> PipelineRequest:
             # field; they meant the scalar default, which is also what
             # keeps their fingerprints stable.
             cycle=_build(CycleConfig, payload.get("cycle", {})),
+            # v1 documents predate the registry: they could only encode
+            # synthetic benchmarks, whose workload ref is None.
+            workload=(
+                None if workload is None else _build(WorkloadRef, workload)
+            ),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise ServiceError(f"malformed request document: {exc}") from exc

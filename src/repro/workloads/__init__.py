@@ -26,6 +26,21 @@ from repro.workloads.benchmarks import (
     benchmark_spec,
     make_benchmark,
 )
+from repro.workloads.base import WORKLOAD_KINDS, Workload, WorkloadRef
+from repro.workloads.synthetic import SyntheticWorkload
+from repro.workloads.scripted import SCRIPTED_WORKLOADS, ScriptedWorkload, scripted_keys
+from repro.workloads.replay import (
+    TraceReplayWorkload,
+    export_workload_file,
+    load_workload_file,
+)
+from repro.workloads.registry import (
+    get_workload,
+    register_workload,
+    register_workload_file,
+    resolve_workload,
+    workload_keys,
+)
 
 __all__ = [
     "GameSpec",
@@ -36,4 +51,19 @@ __all__ = [
     "benchmark_aliases",
     "benchmark_spec",
     "make_benchmark",
+    "WORKLOAD_KINDS",
+    "Workload",
+    "WorkloadRef",
+    "SyntheticWorkload",
+    "ScriptedWorkload",
+    "SCRIPTED_WORKLOADS",
+    "scripted_keys",
+    "TraceReplayWorkload",
+    "export_workload_file",
+    "load_workload_file",
+    "get_workload",
+    "register_workload",
+    "register_workload_file",
+    "resolve_workload",
+    "workload_keys",
 ]

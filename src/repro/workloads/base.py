@@ -1,0 +1,94 @@
+"""The pluggable workload abstraction behind the registry.
+
+A :class:`Workload` is anything that can deterministically produce a
+:class:`~repro.scene.trace.WorkloadTrace`: the synthetic Table II
+generator, a replayed external capture, or an adversarial scripted
+variant.  Every family answers three questions:
+
+* :meth:`Workload.describe` — what is this, for ``megsim workloads``;
+* :meth:`Workload.fingerprint` — a content address of everything the
+  built trace depends on (spec hash for generated families, file
+  content hash for replays), folded into the trace stage's fingerprint
+  so the artifact store keys on workload *identity*, not name;
+* :meth:`Workload.build` — the trace itself, at a sequence-length scale.
+
+A :class:`WorkloadRef` is the portable, serializable pointer carried by
+:class:`~repro.pipeline.request.PipelineRequest` and the service's
+request documents: kind + name + fingerprint (plus an advisory file
+path for replays, so a worker in another process can re-resolve the
+capture).  The path never enters any fingerprint — two copies of the
+same capture are the same workload.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.scene.trace import WorkloadTrace
+
+#: The shipped workload families, in registry listing order.
+WORKLOAD_KINDS = ("synthetic", "scripted", "replay")
+
+
+@dataclass(frozen=True)
+class WorkloadRef:
+    """Serializable pointer to one registered workload.
+
+    Attributes:
+        kind: workload family (one of :data:`WORKLOAD_KINDS`).
+        name: registry key the workload answers to.
+        fingerprint: the workload's content address
+            (:meth:`Workload.fingerprint` of the resolved workload).
+        path: advisory source file for ``replay`` workloads, so another
+            process can reload the capture; excluded from all
+            fingerprinting (identity is the content hash alone).
+    """
+
+    kind: str
+    name: str
+    fingerprint: str
+    path: str | None = None
+
+    def identity(self) -> dict:
+        """The fingerprint-relevant projection of the ref.
+
+        This is what the trace stage folds into its parameters: the
+        ``path`` is deliberately absent, so moving or copying a capture
+        file never invalidates stored artifacts.
+        """
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "fingerprint": self.fingerprint,
+        }
+
+
+class Workload(ABC):
+    """One buildable workload: a named, fingerprinted trace factory."""
+
+    #: Workload family tag (one of :data:`WORKLOAD_KINDS`).
+    kind: str = "synthetic"
+
+    @property
+    @abstractmethod
+    def key(self) -> str:
+        """The registry key this workload answers to."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """One human-readable line for ``megsim workloads list``."""
+
+    @abstractmethod
+    def fingerprint(self) -> str:
+        """Content address of everything :meth:`build` depends on."""
+
+    @abstractmethod
+    def build(self, scale: float = 1.0) -> WorkloadTrace:
+        """Produce the trace at a sequence-length ``scale`` (1.0 = full)."""
+
+    def ref(self) -> WorkloadRef:
+        """The serializable pointer to this workload."""
+        return WorkloadRef(
+            kind=self.kind, name=self.key, fingerprint=self.fingerprint()
+        )

@@ -344,8 +344,12 @@ def benchmark_spec(alias: str) -> GameSpec:
     try:
         return BENCHMARKS[alias]
     except KeyError as exc:
+        # Deferred import: the registry module imports this one.
+        from repro.workloads.registry import workload_keys
+
         raise ConfigError(
-            f"unknown benchmark {alias!r}; available: {', '.join(BENCHMARKS)}"
+            f"unknown benchmark {alias!r}; available workloads: "
+            f"{', '.join(workload_keys())}"
         ) from exc
 
 
@@ -358,6 +362,8 @@ def make_benchmark(alias: str, scale: float = 1.0) -> WorkloadTrace:
             durations are scaled, preserving the phase structure); 1.0 is
             the paper's full frame count.
     """
+    if scale <= 0:
+        raise ConfigError(f"scale must be > 0, got {scale}")
     spec = benchmark_spec(alias)
     if scale != 1.0:
         spec = spec.scaled(scale)

@@ -1,0 +1,138 @@
+"""The string-keyed workload registry.
+
+Three populations answer to registry keys:
+
+* the eight Table II synthetic benchmarks (``asp`` ... ``spd``), wrapped
+  as :class:`~repro.workloads.synthetic.SyntheticWorkload`;
+* the adversarial scripted catalog (``hcr-osc``, ``hcr-flip``,
+  ``hcr-drift``);
+* replay captures registered at runtime (``replay:<name>``), typically
+  by the CLI when ``--workload`` names a capture file.
+
+Resolution inside the pipeline's trace stage goes through
+:func:`resolve_workload`, which deliberately never consults the mutable
+runtime table: a :class:`~repro.workloads.base.WorkloadRef` is
+self-sufficient (builtins resolve by name, replays reload from
+``ref.path`` and verify the content hash), so stage computation stays
+free of mutable-global reads and works identically in service worker
+processes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.workloads.base import Workload, WorkloadRef
+from repro.workloads.benchmarks import BENCHMARKS
+from repro.workloads.replay import load_workload_file
+from repro.workloads.scripted import SCRIPTED_WORKLOADS
+from repro.workloads.synthetic import SyntheticWorkload
+
+#: Immutable builtin population: synthetic benchmarks, then the
+#: adversarial scripted catalog.  Never mutated after import.
+BUILTIN_WORKLOADS: dict[str, Workload] = {
+    **{alias: SyntheticWorkload(spec) for alias, spec in BENCHMARKS.items()},
+    **SCRIPTED_WORKLOADS,
+}
+
+# Replay captures registered during this process's lifetime (CLI-side
+# only; pipeline stages never read this table — see the module docs).
+_DYNAMIC: dict[str, Workload] = {}
+
+
+def workload_keys() -> tuple[str, ...]:
+    """All registry keys: builtins in catalog order, then registered
+    replays in registration order."""
+    return tuple(BUILTIN_WORKLOADS) + tuple(
+        key for key in _DYNAMIC if key not in BUILTIN_WORKLOADS
+    )
+
+
+def get_workload(key: str) -> Workload:
+    """Look up a registered workload by key.
+
+    Raises:
+        ConfigError: unknown key; the message lists every registry key.
+    """
+    workload = BUILTIN_WORKLOADS.get(key) or _DYNAMIC.get(key)
+    if workload is None:
+        raise ConfigError(
+            f"unknown workload {key!r}; available: {', '.join(workload_keys())}"
+        )
+    return workload
+
+
+def register_workload(workload: Workload) -> WorkloadRef:
+    """Register a runtime workload (typically a replay capture).
+
+    Builtin keys cannot be shadowed.  Returns the workload's ref.
+    """
+    key = workload.key
+    if key in BUILTIN_WORKLOADS:
+        raise ConfigError(f"cannot shadow builtin workload {key!r}")
+    _DYNAMIC[key] = workload
+    return workload.ref()
+
+
+def register_workload_file(path: str, name: str | None = None) -> WorkloadRef:
+    """Load a capture file and register it; returns its ref."""
+    return register_workload(load_workload_file(path, name=name))
+
+
+def resolve_workload(ref: WorkloadRef | None, alias: str) -> Workload:
+    """Resolve the workload a pipeline request builds its trace from.
+
+    Args:
+        ref: the request's workload ref; ``None`` means the classic
+            synthetic path (resolve ``alias`` against the builtins).
+        alias: the request alias, used when ``ref`` is ``None``.
+
+    Raises:
+        ConfigError: unknown builtin, missing/unreadable capture, or a
+            capture whose content hash no longer matches the ref.
+    """
+    if ref is None:
+        workload = BUILTIN_WORKLOADS.get(alias)
+        if workload is None:
+            # Builtins only (not workload_keys()): a ref-less request can
+            # only mean a builtin, and reading the mutable runtime table
+            # here would put a global-read in the trace stage's cone.
+            raise ConfigError(
+                f"unknown workload {alias!r}; available: "
+                f"{', '.join(BUILTIN_WORKLOADS)}"
+            )
+        return workload
+    if ref.kind in ("synthetic", "scripted"):
+        workload = BUILTIN_WORKLOADS.get(ref.name)
+        if workload is None:
+            raise ConfigError(
+                f"workload ref names unknown builtin {ref.name!r}; "
+                f"available: {', '.join(BUILTIN_WORKLOADS)}"
+            )
+        if workload.fingerprint() != ref.fingerprint:
+            raise ConfigError(
+                f"workload {ref.name!r} fingerprint mismatch: the ref was "
+                f"created against a different catalog revision"
+            )
+        return workload
+    if ref.kind == "replay":
+        if ref.path is None:
+            raise ConfigError(
+                f"replay workload {ref.name!r} carries no capture path; "
+                "re-register the capture file"
+            )
+        workload = load_workload_file(ref.path, name=_replay_name(ref.name))
+        if workload.fingerprint() != ref.fingerprint:
+            raise ConfigError(
+                f"capture {ref.path} content hash "
+                f"{workload.fingerprint()[:12]} does not match the "
+                f"requested workload {ref.name!r} ({ref.fingerprint[:12]}); "
+                "the file changed since the request was created"
+            )
+        return workload
+    raise ConfigError(f"unknown workload kind {ref.kind!r}")
+
+
+def _replay_name(key: str) -> str:
+    """Strip the ``replay:`` prefix from a replay registry key."""
+    prefix = "replay:"
+    return key[len(prefix):] if key.startswith(prefix) else key

@@ -1,0 +1,120 @@
+"""Adversarial scripted workloads stressing x-means k-selection.
+
+Each catalog entry is a :class:`ScriptedWorkload`: a synthetic spec whose
+*script* is deliberately hostile to the sampling methodology, derived
+from the lightweight ``hcr`` benchmark so the catalog stays cheap to
+evaluate.  The three archetypes target distinct failure modes of the
+BIC-driven cluster-count search that the paper's <1.5% accuracy claim
+rests on:
+
+``hcr-osc``
+    Rapid oscillation between two contrasting archetypes in short
+    uniform bursts.  Frames from the two regimes interleave, so a
+    too-small k merges them and the per-cluster representative
+    mispredicts every other burst.
+
+``hcr-flip``
+    One abrupt phase flip: a long static half followed by a long heavy
+    half, with no transition material.  Stresses whether the search
+    splits two internally-uniform but mutually-distant regimes.
+
+``hcr-drift``
+    Long segments whose intra-segment load drifts hard, blurring
+    cluster boundaries; stresses BIC's preference for fewer, wider
+    clusters against a continuum of feature vectors.
+
+The catalog is evaluated by the ``adversarial`` experiment and gated by
+the bench spec of the same name (see docs/workloads.md).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.workloads.benchmarks import BENCHMARKS
+from repro.workloads.specs import GameSpec, ScriptEntry
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+@dataclass(frozen=True)
+class ScriptedWorkload(SyntheticWorkload):
+    """A synthetic workload with an adversarial gameplay script."""
+
+    kind: str = "scripted"
+
+    def describe(self) -> str:
+        return (
+            f"{self.spec.title} ({self.spec.frames} frames, "
+            f"{len(self.spec.script)} segments) — {self.spec.description}"
+        )
+
+
+def _scripted_spec(alias: str, title: str, description: str, seed: int,
+                   script: tuple[ScriptEntry, ...],
+                   drift: float | None = None) -> GameSpec:
+    """Derive an adversarial spec from the ``hcr`` base game."""
+    base = BENCHMARKS["hcr"]
+    phases = base.phases
+    if drift is not None:
+        phases = tuple(
+            dataclasses.replace(phase, drift=drift) for phase in phases
+        )
+    return dataclasses.replace(
+        base,
+        alias=alias,
+        title=title,
+        description=description,
+        frames=sum(entry.frames for entry in script),
+        phases=phases,
+        script=script,
+        seed=seed,
+    )
+
+
+def _osc() -> GameSpec:
+    """Rapid countryside/cave oscillation in 50-frame bursts."""
+    script = tuple(
+        ScriptEntry(phase, 50)
+        for _ in range(20)
+        for phase in ("countryside", "cave")
+    )
+    return _scripted_spec(
+        "hcr-osc", "HCR oscillating phases",
+        "Adversarial: rapid two-regime oscillation", 91001, script,
+    )
+
+
+def _flip() -> GameSpec:
+    """One abrupt flip from a static menu half to a heavy cave half."""
+    script = (ScriptEntry("menu", 1000), ScriptEntry("cave", 1000))
+    return _scripted_spec(
+        "hcr-flip", "HCR phase flip",
+        "Adversarial: abrupt mid-sequence regime flip", 91002, script,
+    )
+
+
+def _drift() -> GameSpec:
+    """Long segments with triple the calibrated intra-segment drift."""
+    script = (
+        ScriptEntry("countryside", 700),
+        ScriptEntry("cave", 700),
+        ScriptEntry("countryside", 600),
+    )
+    return _scripted_spec(
+        "hcr-drift", "HCR drifting load",
+        "Adversarial: heavy intra-segment load drift", 91003, script,
+        drift=0.45,
+    )
+
+
+#: The adversarial catalog, keyed by workload key, in stress order.
+SCRIPTED_WORKLOADS: dict[str, ScriptedWorkload] = {
+    spec.alias: ScriptedWorkload(spec)
+    for spec in (_osc(), _flip(), _drift())
+}
+
+
+def scripted_keys() -> tuple[str, ...]:
+    """All adversarial workload keys, in catalog order."""
+    return tuple(SCRIPTED_WORKLOADS)

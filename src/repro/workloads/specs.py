@@ -154,14 +154,23 @@ class GameSpec:
 
         Used by the benchmark harness to run reduced-length sequences that
         preserve the phase structure.  Segment durations are scaled
-        individually (minimum 1 frame each).
+        individually; a scale that rounds any segment below 1 frame is
+        rejected rather than silently clamped, since a clamped script no
+        longer has the spec's phase proportions.
         """
         if scale <= 0:
             raise ConfigError(f"scale must be > 0, got {scale}")
-        script = tuple(
-            ScriptEntry(entry.phase, max(1, round(entry.frames * scale)))
-            for entry in self.script
-        )
+        entries = []
+        for entry in self.script:
+            frames = round(entry.frames * scale)
+            if frames < 1:
+                raise ConfigError(
+                    f"scale {scale} rounds script entry {entry.phase!r} "
+                    f"({entry.frames} frames) below 1 frame; use a larger "
+                    f"scale"
+                )
+            entries.append(ScriptEntry(entry.phase, frames))
+        script = tuple(entries)
         total = sum(entry.frames for entry in script)
         return GameSpec(
             alias=self.alias,

@@ -1,0 +1,46 @@
+"""The synthetic workload family: the existing generator behind the protocol.
+
+:class:`SyntheticWorkload` wraps a :class:`~repro.workloads.specs.GameSpec`
+and reproduces :func:`~repro.workloads.benchmarks.make_benchmark` exactly:
+``build(scale)`` scales the script and runs the seeded generator, so a
+synthetic workload resolved through the registry yields the same trace,
+byte for byte, as the pre-registry path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.scene.trace import WorkloadTrace
+from repro.store.fingerprint import fingerprint
+from repro.workloads.base import Workload
+from repro.workloads.generator import GameWorkloadGenerator
+from repro.workloads.specs import GameSpec
+
+
+@dataclass(frozen=True)
+class SyntheticWorkload(Workload):
+    """A generated workload: one :class:`GameSpec` played by the generator."""
+
+    spec: GameSpec
+    kind: str = "synthetic"
+
+    @property
+    def key(self) -> str:
+        return self.spec.alias
+
+    def describe(self) -> str:
+        return (
+            f"{self.spec.title} ({self.spec.game_type}, "
+            f"{self.spec.frames} frames, "
+            f"{len(self.spec.script)} script segments) — "
+            f"{self.spec.description}"
+        )
+
+    def fingerprint(self) -> str:
+        """Content address of the generating spec (seed included)."""
+        return fingerprint({"workload": self.kind, "spec": self.spec})
+
+    def build(self, scale: float = 1.0) -> WorkloadTrace:
+        spec = self.spec if scale == 1.0 else self.spec.scaled(scale)
+        return GameWorkloadGenerator(spec).generate()

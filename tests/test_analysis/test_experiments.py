@@ -35,7 +35,7 @@ class TestRegistry:
         assert set(EXPERIMENTS) == {
             "table1", "table2", "table3", "table4",
             "fig3", "fig4", "fig5", "fig6", "fig7", "speedup",
-            "backend_compare",
+            "backend_compare", "adversarial",
         }
 
     def test_unknown_experiment(self):

@@ -30,7 +30,9 @@ class TestCatalog:
         assert set(bench_names("smoke")) <= set(bench_names("full"))
 
     def test_smoke_members(self):
-        assert bench_names("smoke") == ["table3", "fig7", "speedup", "parity"]
+        assert bench_names("smoke") == [
+            "table3", "fig7", "speedup", "adversarial", "parity"
+        ]
 
     def test_suite_filter_preserves_run_order(self):
         order = {name: index for index, name in enumerate(bench_names())}

@@ -68,3 +68,76 @@ class TestCommands:
         from repro.scene.trace import WorkloadTrace
 
         assert WorkloadTrace.load(out).name == "hcr"
+
+
+@pytest.fixture
+def _clean_registry():
+    from repro.workloads.registry import _DYNAMIC
+
+    saved = dict(_DYNAMIC)
+    yield
+    _DYNAMIC.clear()
+    _DYNAMIC.update(saved)
+
+
+class TestWorkloadCommands:
+    def test_workloads_list(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for key in ("hcr", "hcr-osc", "hcr-flip", "hcr-drift"):
+            assert key in out
+        assert "[scripted " in out
+
+    def test_workloads_describe(self, capsys):
+        assert main(["workloads", "describe", "hcr-osc"]) == 0
+        out = capsys.readouterr().out
+        assert "scripted" in out
+        assert "fingerprint" in out
+        assert "2000" in out
+
+    def test_workloads_describe_unknown(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="available"):
+            main(["workloads", "describe", "doom"])
+
+    def test_list_mentions_workloads(self, capsys):
+        assert main(["list"]) == 0
+        assert "hcr-osc" in capsys.readouterr().out
+
+    def test_export_trace_round_trips(self, capsys, tmp_path, _clean_registry):
+        out = tmp_path / "cap.jsonl"
+        assert main([
+            "export-trace", "hcr", "--scale", "0.05", "--out", str(out),
+        ]) == 0
+        assert "100-frame capture" in capsys.readouterr().out
+
+        assert main(["plan", "--workload", str(out), "--scale", "1.0"]) == 0
+        planned = capsys.readouterr().out
+        assert "registered capture" in planned
+        assert "replay:cap" in planned
+        assert "representatives" in planned
+
+    def test_plan_accepts_scripted_key(self, capsys, _clean_registry):
+        assert main(["plan", "hcr-flip", "--scale", "0.05"]) == 0
+        assert "representatives" in capsys.readouterr().out
+
+    def test_run_rejects_workload_on_suite_experiments(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="fig5"):
+            main(["run", "table3", "--workload", "hcr-osc"])
+
+
+class TestScaleValidation:
+    def test_non_positive_scale_names_the_flag(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="--scale must be > 0"):
+            main(["plan", "hcr", "--scale", "0"])
+
+    def test_sub_frame_scale_names_the_flag(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="--scale 0.001"):
+            main(["plan", "hcr", "--scale", "0.001"])

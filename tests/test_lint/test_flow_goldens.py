@@ -34,7 +34,10 @@ GOLDEN_DIGESTS = {
         "declared": [],
         "direct": [],
         "ambient": [],
-        "absorbed": OBS_ABSORBED,
+        # The capture read in `load_workload_file` is declared ambient:
+        # sound because a replay ref's fingerprint IS the capture's
+        # content hash, so the file's bytes are in the stage address.
+        "absorbed": ["filesystem:.read_text"] + OBS_ABSORBED,
     },
     "repro.pipeline.stages._compute_profile": {
         "function": "repro.pipeline.stages:_compute_profile",

@@ -76,3 +76,45 @@ def test_decode_rejects_unknown_version():
 def test_decode_rejects_non_object():
     with pytest.raises(ServiceError, match="JSON object"):
         decode_request(json.dumps([1, 2, 3]))
+
+
+class TestWorkloadField:
+    """v2 carries the workload ref; v1 documents still decode."""
+
+    def test_synthetic_requests_encode_a_null_workload(self):
+        document = encode_request(PipelineRequest.create("hcr", scale=0.1))
+        assert document["workload"] is None
+
+    def test_scripted_ref_round_trips(self):
+        request = PipelineRequest.create("hcr-osc", scale=0.05)
+        assert request.workload is not None
+        decoded = decode_request(encode_request(request))
+        assert decoded == request
+        assert stage_fingerprints(decoded) == stage_fingerprints(request)
+
+    def test_replay_ref_round_trips_with_path(self, tmp_path):
+        from repro.workloads import export_workload_file, make_benchmark
+        from repro.workloads.registry import _DYNAMIC, register_workload_file
+
+        path = tmp_path / "cap.jsonl"
+        export_workload_file(make_benchmark("hcr", scale=0.05), path)
+        saved = dict(_DYNAMIC)
+        try:
+            ref = register_workload_file(str(path))
+            request = PipelineRequest.create(ref.name)
+        finally:
+            _DYNAMIC.clear()
+            _DYNAMIC.update(saved)
+        decoded = decode_request(encode_request(request))
+        assert decoded == request
+        # The capture path survives, so a worker process can re-resolve
+        # the ref without access to this process's registry table.
+        assert decoded.workload.path == str(path)
+
+    def test_v1_document_decodes_with_no_workload(self):
+        document = encode_request(PipelineRequest.create("bbr1", scale=0.1))
+        document["version"] = 1
+        del document["workload"]
+        decoded = decode_request(document)
+        assert decoded.workload is None
+        assert decoded == PipelineRequest.create("bbr1", scale=0.1)

@@ -276,3 +276,39 @@ def test_assemble_result_document_is_json_serializable(store):
     assert set(round_tripped["relative_errors"]) == {
         "cycles", "dram_accesses", "l2_accesses", "tile_cache_accesses"
     }
+
+
+class TestWorkloadSubmission:
+    """Scripted and replay keys flow through the service layer."""
+
+    def test_empty_submission_is_the_synthetic_suite(self):
+        requests = build_requests([], scale=SCALE)
+        assert len(requests) == 8
+        assert all(request.workload is None for request in requests)
+
+    def test_scripted_key_carries_its_ref(self):
+        (request,) = build_requests(["hcr-osc"], scale=SCALE)
+        assert request.workload is not None
+        assert request.workload.kind == "scripted"
+
+    def test_unknown_key_lists_the_registry(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="hcr-drift"):
+            build_requests(["doom"], scale=SCALE)
+
+    def test_scripted_request_completes_end_to_end(self, tmp_path):
+        from repro.service import assemble_result
+        from repro.service.codec import decode_request, encode_request
+        from repro.pipeline import run_pipeline, stage_fingerprints
+
+        (request,) = build_requests(["hcr-flip"], scale=SCALE)
+        # The database round trip a worker would see.
+        request = decode_request(encode_request(request))
+        store = ArtifactStore(tmp_path / "store")
+        with store_scope(store):
+            fingerprints = stage_fingerprints(request)
+            run_pipeline(request, store=store, fingerprints=fingerprints)
+            document = assemble_result(request, store, fingerprints)
+        assert document["benchmark"] == "hcr-flip"
+        assert document["relative_errors"]

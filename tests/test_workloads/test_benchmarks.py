@@ -73,3 +73,19 @@ class TestGeneration:
             spec = benchmark_spec(alias)
             names = [entry.phase for entry in spec.script]
             assert len(names) > len(set(names))
+
+
+class TestScaleValidation:
+    @pytest.mark.parametrize("scale", [0.0, -0.5])
+    def test_non_positive_scale_is_rejected(self, scale):
+        with pytest.raises(ConfigError, match="scale must be > 0"):
+            make_benchmark("hcr", scale=scale)
+
+    def test_sub_frame_scale_is_rejected(self):
+        # hcr's shortest script segment is 80 frames; 0.005 rounds it to 0.
+        with pytest.raises(ConfigError, match="below 1 frame"):
+            make_benchmark("hcr", scale=0.005)
+
+    def test_unknown_benchmark_lists_the_workload_registry(self):
+        with pytest.raises(ConfigError, match="hcr-osc"):
+            benchmark_spec("doom")

@@ -1,0 +1,133 @@
+"""The workload registry: keys, lookup, registration and resolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads import (
+    BENCHMARKS,
+    SCRIPTED_WORKLOADS,
+    SyntheticWorkload,
+    WorkloadRef,
+    get_workload,
+    make_benchmark,
+    register_workload,
+    register_workload_file,
+    resolve_workload,
+    workload_keys,
+)
+from repro.workloads.registry import BUILTIN_WORKLOADS, _DYNAMIC
+from repro.workloads.replay import export_workload_file
+
+
+@pytest.fixture(autouse=True)
+def _isolated_dynamic_table():
+    """Runtime registrations must not leak between tests."""
+    saved = dict(_DYNAMIC)
+    yield
+    _DYNAMIC.clear()
+    _DYNAMIC.update(saved)
+
+
+@pytest.fixture
+def capture(tmp_path):
+    path = tmp_path / "cap.jsonl"
+    export_workload_file(make_benchmark("hcr", scale=0.05), path)
+    return path
+
+
+class TestKeys:
+    def test_builtins_are_benchmarks_then_scripted(self):
+        assert tuple(BUILTIN_WORKLOADS) == (
+            tuple(BENCHMARKS) + tuple(SCRIPTED_WORKLOADS)
+        )
+
+    def test_workload_keys_extends_builtins_with_registrations(self, capture):
+        assert workload_keys() == tuple(BUILTIN_WORKLOADS)
+        ref = register_workload_file(str(capture))
+        assert workload_keys() == tuple(BUILTIN_WORKLOADS) + (ref.name,)
+
+    def test_every_key_resolves_to_a_matching_workload(self):
+        for key in workload_keys():
+            assert get_workload(key).key == key
+
+
+class TestLookup:
+    def test_unknown_key_lists_the_registry(self):
+        with pytest.raises(ConfigError, match="hcr-osc"):
+            get_workload("definitely-not-a-workload")
+
+    def test_synthetic_wraps_the_benchmark_spec(self):
+        workload = get_workload("hcr")
+        assert isinstance(workload, SyntheticWorkload)
+        assert workload.spec is BENCHMARKS["hcr"]
+
+    def test_builtin_cannot_be_shadowed(self, capture):
+        from repro.workloads.replay import load_workload_file
+
+        replay = load_workload_file(capture, name="hcr")
+        shadow = SyntheticWorkload(BENCHMARKS["hcr"])
+        with pytest.raises(ConfigError, match="shadow"):
+            register_workload(shadow)
+        # Replays live under the `replay:` prefix, so a capture *named*
+        # like a benchmark never collides with it.
+        assert register_workload(replay).name == "replay:hcr"
+
+
+class TestResolve:
+    def test_none_ref_resolves_builtin_by_alias(self):
+        assert resolve_workload(None, "hcr") is BUILTIN_WORKLOADS["hcr"]
+
+    def test_none_ref_unknown_alias_lists_builtins(self):
+        with pytest.raises(ConfigError, match="available:.*hcr-drift"):
+            resolve_workload(None, "nope")
+
+    def test_scripted_ref_round_trips(self):
+        workload = BUILTIN_WORKLOADS["hcr-osc"]
+        assert resolve_workload(workload.ref(), "hcr-osc") is workload
+
+    def test_stale_builtin_fingerprint_is_rejected(self):
+        ref = WorkloadRef(
+            kind="scripted", name="hcr-osc", fingerprint="0" * 64
+        )
+        with pytest.raises(ConfigError, match="fingerprint mismatch"):
+            resolve_workload(ref, "hcr-osc")
+
+    def test_replay_ref_reloads_from_path(self, capture):
+        ref = register_workload_file(str(capture))
+        workload = resolve_workload(ref, ref.name)
+        assert workload.fingerprint() == ref.fingerprint
+        assert workload.trace.frame_count == 100
+
+    def test_replay_ref_detects_a_changed_capture(self, capture):
+        ref = register_workload_file(str(capture))
+        capture.write_text(
+            capture.read_text().replace("hcr", "rch"), encoding="utf-8"
+        )
+        with pytest.raises(ConfigError, match="content hash"):
+            resolve_workload(ref, ref.name)
+
+    def test_replay_ref_without_path_is_rejected(self):
+        ref = WorkloadRef(kind="replay", name="replay:x", fingerprint="0" * 64)
+        with pytest.raises(ConfigError, match="no capture path"):
+            resolve_workload(ref, "replay:x")
+
+    def test_unknown_kind_is_rejected(self):
+        ref = WorkloadRef(kind="quantum", name="x", fingerprint="0" * 64)
+        with pytest.raises(ConfigError, match="unknown workload kind"):
+            resolve_workload(ref, "x")
+
+
+class TestRefIdentity:
+    def test_identity_excludes_the_path(self, capture):
+        ref = register_workload_file(str(capture))
+        assert ref.path == str(capture)
+        assert set(ref.identity()) == {"kind", "name", "fingerprint"}
+
+    def test_same_capture_bytes_same_identity(self, capture, tmp_path):
+        copy = tmp_path / "elsewhere.jsonl"
+        copy.write_text(capture.read_text(), encoding="utf-8")
+        first = register_workload_file(str(capture))
+        second = register_workload_file(str(copy), name="cap")
+        assert first.identity() == second.identity()

@@ -1,0 +1,187 @@
+"""The ``megsim-workload v1`` capture format: render, parse, replay."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.store.fingerprint import payload_digest
+from repro.workloads import (
+    export_workload_file,
+    load_workload_file,
+    make_benchmark,
+)
+from repro.workloads.replay import (
+    CSV_COLUMNS,
+    WORKLOAD_SCHEMA,
+    WORKLOAD_SCHEMA_VERSION,
+    parse_workload_text,
+    render_workload_text,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return make_benchmark("hcr", scale=0.05)
+
+
+def _csv_row(frame: int, **overrides) -> str:
+    values = {
+        "frame": frame, "ortho": 0, "cam_x": 0.0, "cam_y": 2.0,
+        "cam_z": 8.0, "fov_y": 60.0, "ortho_height": 10.0, "near": 0.1,
+        "vs_alu": 16, "fs_alu": 24, "fs_samples": 1, "mesh_vertices": 100,
+        "mesh_primitives": 50, "mesh_stride": 32, "mesh_radius": 1.5,
+        "mesh_closed": 1, "tex_width": 256, "tex_height": 256,
+        "tex_bytes": 4, "pos_x": 0.0, "pos_y": 0.0, "pos_z": -5.0,
+        "draw_scale": 1.0, "instances": 1, "overdraw": 1.1, "opaque": 1,
+        "depth_layer": 0,
+    }
+    values.update(overrides)
+    return ",".join(str(values[column]) for column in CSV_COLUMNS)
+
+
+def _csv_text(*rows: str) -> str:
+    return "\n".join([",".join(CSV_COLUMNS), *rows]) + "\n"
+
+
+class TestJsonlRoundTrip:
+    def test_lossless(self, trace):
+        text = render_workload_text(trace)
+        replay = parse_workload_text(text, name="cap")
+        assert replay.trace.to_dict() == trace.to_dict()
+
+    def test_fingerprint_is_the_content_hash(self, trace):
+        text = render_workload_text(trace)
+        replay = parse_workload_text(text, name="cap")
+        assert replay.fingerprint() == payload_digest(text)
+
+    def test_export_digest_matches_reload(self, trace, tmp_path):
+        path = tmp_path / "cap.jsonl"
+        digest = export_workload_file(trace, path)
+        assert load_workload_file(path).fingerprint() == digest
+
+    def test_rendered_bytes_are_deterministic(self, trace):
+        assert render_workload_text(trace) == render_workload_text(trace)
+
+    def test_header_shape(self, trace):
+        header = json.loads(render_workload_text(trace).splitlines()[0])
+        assert header["schema"] == WORKLOAD_SCHEMA
+        assert header["version"] == WORKLOAD_SCHEMA_VERSION
+        assert header["frame_count"] == trace.frame_count
+
+
+class TestBuild:
+    def test_scale_one_is_the_whole_capture(self, trace):
+        replay = parse_workload_text(render_workload_text(trace), name="cap")
+        assert replay.build() is replay.trace
+
+    def test_fractional_scale_takes_a_prefix(self, trace):
+        replay = parse_workload_text(render_workload_text(trace), name="cap")
+        built = replay.build(scale=0.5)
+        assert built.frame_count == 50
+        assert built.to_dict()["frames"] == trace.to_dict()["frames"][:50]
+
+    @pytest.mark.parametrize("scale", [0.0, -1.0, 1.5])
+    def test_out_of_range_scale_is_rejected(self, trace, scale):
+        replay = parse_workload_text(render_workload_text(trace), name="cap")
+        with pytest.raises(ConfigError, match=r"\(0, 1\]"):
+            replay.build(scale=scale)
+
+
+class TestJsonlRejections:
+    def test_empty(self):
+        with pytest.raises(ConfigError, match="empty"):
+            parse_workload_text("", name="cap")
+
+    def test_wrong_schema(self):
+        header = json.dumps({"schema": "not-a-workload", "version": 1})
+        with pytest.raises(ConfigError, match="not a megsim-workload"):
+            parse_workload_text(header + "\n", name="cap")
+
+    def test_future_version(self):
+        header = json.dumps({"schema": WORKLOAD_SCHEMA, "version": 99})
+        with pytest.raises(ConfigError, match="unsupported"):
+            parse_workload_text(header + "\n", name="cap")
+
+    def test_truncated_capture(self, trace):
+        lines = render_workload_text(trace).splitlines()
+        with pytest.raises(ConfigError, match="declares 100"):
+            parse_workload_text("\n".join(lines[:-10]), name="cap")
+
+    def test_malformed_frame_line(self, trace):
+        lines = render_workload_text(trace).splitlines()
+        lines[3] = "{not json"
+        with pytest.raises(ConfigError, match=":4: malformed frame"):
+            parse_workload_text("\n".join(lines), name="cap")
+
+    def test_unknown_flavor(self):
+        with pytest.raises(ConfigError, match="flavor"):
+            parse_workload_text("x", name="cap", flavor="xml")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError, match="cannot read"):
+            load_workload_file(tmp_path / "absent.jsonl")
+
+
+class TestCsv:
+    def test_parses_frames_and_dedups_resources(self):
+        replay = parse_workload_text(
+            _csv_text(
+                _csv_row(0),
+                _csv_row(0, vs_alu=32, pos_x=1.0),
+                _csv_row(2, tex_width=128),
+            ),
+            name="sheet", flavor="csv",
+        )
+        built = replay.trace
+        # Frame ids are rebased dense regardless of the capture's gaps.
+        assert [f.frame_id for f in built.frames] == [0, 1]
+        assert len(built.frames[0].draw_calls) == 2
+        # Identical rows collapse into shared table entries...
+        assert len(built.vertex_shaders) == 2
+        assert len(built.fragment_shaders) == 1
+        assert len(built.meshes) == 1
+        # ...while a differing texture gets its own aligned slot.
+        assert len(built.textures) == 2
+        addresses = [t.base_address for t in built.textures]
+        assert len(set(addresses)) == 2
+        assert all(a % 256 == 0 for a in addresses)
+
+    def test_load_by_suffix(self, tmp_path):
+        path = tmp_path / "sheet.csv"
+        path.write_text(_csv_text(_csv_row(0)), encoding="utf-8")
+        assert load_workload_file(path).trace.frame_count == 1
+
+    def test_missing_column(self):
+        text = "frame,ortho\n0,0\n"
+        with pytest.raises(ConfigError, match="missing column"):
+            parse_workload_text(text, name="sheet", flavor="csv")
+
+    def test_decreasing_frame_ids(self):
+        with pytest.raises(ConfigError, match="non-decreasing"):
+            parse_workload_text(
+                _csv_text(_csv_row(5), _csv_row(1)),
+                name="sheet", flavor="csv",
+            )
+
+    def test_bad_boolean(self):
+        with pytest.raises(ConfigError, match="must be boolean"):
+            parse_workload_text(
+                _csv_text(_csv_row(0, opaque="maybe")),
+                name="sheet", flavor="csv",
+            )
+
+    def test_bad_number_names_the_row(self):
+        with pytest.raises(ConfigError, match="row 3"):
+            parse_workload_text(
+                _csv_text(_csv_row(0), _csv_row(1, vs_alu="many")),
+                name="sheet", flavor="csv",
+            )
+
+    def test_no_rows(self):
+        with pytest.raises(ConfigError, match="no draw rows"):
+            parse_workload_text(
+                ",".join(CSV_COLUMNS) + "\n", name="sheet", flavor="csv"
+            )

@@ -1,0 +1,80 @@
+"""The adversarial scripted catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import (
+    BENCHMARKS,
+    SCRIPTED_WORKLOADS,
+    ScriptedWorkload,
+    SyntheticWorkload,
+    scripted_keys,
+)
+
+
+class TestCatalog:
+    def test_catalog_members(self):
+        assert scripted_keys() == ("hcr-osc", "hcr-flip", "hcr-drift")
+
+    def test_keys_match_spec_aliases(self):
+        for key, workload in SCRIPTED_WORKLOADS.items():
+            assert workload.key == key == workload.spec.alias
+            assert workload.kind == "scripted"
+
+    def test_catalog_never_shadows_a_benchmark(self):
+        assert not set(SCRIPTED_WORKLOADS) & set(BENCHMARKS)
+
+    def test_fingerprints_are_distinct(self):
+        prints = {w.fingerprint() for w in SCRIPTED_WORKLOADS.values()}
+        prints.add(SyntheticWorkload(BENCHMARKS["hcr"]).fingerprint())
+        assert len(prints) == len(SCRIPTED_WORKLOADS) + 1
+
+    def test_frames_match_scripts(self):
+        for workload in SCRIPTED_WORKLOADS.values():
+            assert workload.spec.frames == sum(
+                entry.frames for entry in workload.spec.script
+            ) == 2000
+
+
+class TestStructure:
+    def test_osc_oscillates_in_uniform_bursts(self):
+        script = SCRIPTED_WORKLOADS["hcr-osc"].spec.script
+        assert len(script) == 40
+        assert all(entry.frames == 50 for entry in script)
+        assert len({entry.phase for entry in script}) == 2
+        # Strictly alternating: no two adjacent segments share a phase.
+        assert all(a.phase != b.phase for a, b in zip(script, script[1:]))
+
+    def test_flip_is_one_abrupt_transition(self):
+        script = SCRIPTED_WORKLOADS["hcr-flip"].spec.script
+        assert len(script) == 2
+        assert script[0].phase != script[1].phase
+
+    def test_drift_raises_intra_segment_drift(self):
+        base = max(phase.drift for phase in BENCHMARKS["hcr"].phases)
+        drifted = SCRIPTED_WORKLOADS["hcr-drift"].spec.phases
+        assert all(phase.drift > base for phase in drifted)
+
+
+class TestBuild:
+    @pytest.mark.parametrize("key", ["hcr-osc", "hcr-flip", "hcr-drift"])
+    def test_builds_at_gate_scale(self, key):
+        workload = SCRIPTED_WORKLOADS[key]
+        trace = workload.build(scale=0.02)
+        assert trace.frame_count == 40
+        assert trace.name == key
+
+    def test_build_is_deterministic(self):
+        workload = SCRIPTED_WORKLOADS["hcr-osc"]
+        first = workload.build(scale=0.02)
+        second = workload.build(scale=0.02)
+        assert first.to_dict() == second.to_dict()
+
+    def test_describe_counts_segments(self):
+        description = SCRIPTED_WORKLOADS["hcr-osc"].describe()
+        assert "40 segments" in description
+
+    def test_subclasses_synthetic(self):
+        assert isinstance(SCRIPTED_WORKLOADS["hcr-flip"], SyntheticWorkload)
+        assert type(SCRIPTED_WORKLOADS["hcr-flip"]) is ScriptedWorkload

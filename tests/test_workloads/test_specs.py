@@ -99,3 +99,12 @@ class TestScaling:
     def test_invalid_scale(self):
         with pytest.raises(ConfigError):
             make_spec().scaled(0.0)
+
+    def test_scale_rounding_an_entry_below_one_frame_is_rejected(self):
+        # make_spec's shortest segment is 10 frames; 0.01 rounds it to 0.
+        with pytest.raises(ConfigError, match="below 1 frame"):
+            make_spec().scaled(0.01)
+
+    def test_rejection_names_the_offending_phase(self):
+        with pytest.raises(ConfigError, match="'menu'"):
+            make_spec().scaled(0.01)
